@@ -1,0 +1,153 @@
+//! Criterion microbenchmarks backing the figure harnesses: flux-kernel
+//! variants, TRSV/ILU strategies, SpMV (BCSR vs scalar CSR), vector
+//! primitives and the partitioner.
+//!
+//! Sizes are deliberately small (the container has one core); the
+//! statistically robust *ratios* between variants are what matters.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use fun3d_core::geom::NodeSoa;
+use fun3d_core::{flux, EdgeGeom, FlowConditions, NodeAos};
+use fun3d_mesh::generator::MeshPreset;
+use fun3d_mesh::DualMesh;
+use fun3d_partition::{partition_graph, MultilevelConfig};
+use fun3d_solver::vecops;
+use fun3d_sparse::{csr::Csr, ilu, trsv, Bcsr4, TempBuffer};
+use fun3d_util::Rng64;
+
+fn fixture() -> (EdgeGeom, NodeAos, NodeSoa) {
+    let mut mesh = MeshPreset::Small.build();
+    fun3d_core::Fun3dApp::rcm_reorder(&mut mesh);
+    let dual = DualMesh::build(&mesh);
+    let geom = EdgeGeom::build(&mesh, &dual);
+    let cond = FlowConditions::default();
+    let mut node = NodeAos::zeros(mesh.nvertices());
+    node.set_freestream(&cond.qinf);
+    let mut rng = Rng64::new(1);
+    for x in node.q.iter_mut() {
+        *x += rng.range_f64(-0.05, 0.05);
+    }
+    let bc = fun3d_core::bc::BcData::build(&dual);
+    fun3d_core::gradient::green_gauss(&geom, &bc, &dual.vol, &mut node);
+    let soa = NodeSoa::from_aos(&node);
+    (geom, node, soa)
+}
+
+fn bench_flux(c: &mut Criterion) {
+    let (geom, node, soa) = fixture();
+    let n4 = node.n * 4;
+    let mut g = c.benchmark_group("flux");
+    g.sample_size(20);
+    g.bench_function("serial_soa", |b| {
+        b.iter_batched_ref(
+            || vec![0.0; n4],
+            |res| flux::serial_soa(&geom, &soa, 1.0, res),
+            BatchSize::LargeInput,
+        )
+    });
+    g.bench_function("serial_aos", |b| {
+        b.iter_batched_ref(
+            || vec![0.0; n4],
+            |res| flux::serial_aos(&geom, &node, 1.0, res),
+            BatchSize::LargeInput,
+        )
+    });
+    g.bench_function("serial_aos_simd", |b| {
+        b.iter_batched_ref(
+            || vec![0.0; n4],
+            |res| flux::serial_aos_simd(&geom, &node, 1.0, res),
+            BatchSize::LargeInput,
+        )
+    });
+    g.bench_function("serial_aos_simd_prefetch", |b| {
+        b.iter_batched_ref(
+            || vec![0.0; n4],
+            |res| flux::serial_aos_simd_prefetch(&geom, &node, 1.0, res),
+            BatchSize::LargeInput,
+        )
+    });
+    g.finish();
+}
+
+fn jacobian() -> Bcsr4 {
+    let mesh = MeshPreset::Small.build();
+    let mut a = Bcsr4::from_edges(mesh.nvertices(), &mesh.edges());
+    a.fill_diag_dominant(7);
+    a
+}
+
+fn bench_recurrences(c: &mut Criterion) {
+    let a = jacobian();
+    let pattern1 = ilu::symbolic_iluk(&a, 1);
+    let factors = ilu::factor(&a, &pattern1, TempBuffer::Compressed);
+    let n = a.dim();
+    let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.3).sin()).collect();
+    let mut g = c.benchmark_group("recurrences");
+    g.sample_size(15);
+    g.bench_function("ilu1_full_buffer", |bch| {
+        bch.iter(|| std::hint::black_box(ilu::factor(&a, &pattern1, TempBuffer::Full)))
+    });
+    g.bench_function("ilu1_compressed_buffer", |bch| {
+        bch.iter(|| std::hint::black_box(ilu::factor(&a, &pattern1, TempBuffer::Compressed)))
+    });
+    g.bench_function("ilu0", |bch| bch.iter(|| std::hint::black_box(ilu::ilu0(&a))));
+    g.bench_function("trsv", |bch| {
+        bch.iter(|| std::hint::black_box(trsv::solve(&factors, &b)))
+    });
+    g.finish();
+}
+
+fn bench_spmv(c: &mut Criterion) {
+    let a = jacobian();
+    let scalar = Csr::from_bcsr(&a);
+    let n = a.dim();
+    let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.17).cos()).collect();
+    let mut y = vec![0.0; n];
+    let mut g = c.benchmark_group("spmv");
+    g.sample_size(30);
+    g.bench_function("bcsr4", |b| b.iter(|| a.spmv(&x, &mut y)));
+    g.bench_function("scalar_csr", |b| b.iter(|| scalar.spmv(&x, &mut y)));
+    g.finish();
+}
+
+fn bench_vecops(c: &mut Criterion) {
+    let n = 100_000;
+    let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.01).sin()).collect();
+    let ys: Vec<Vec<f64>> = (0..4)
+        .map(|k| (0..n).map(|i| ((i + k) as f64 * 0.02).cos()).collect())
+        .collect();
+    let refs: Vec<&[f64]> = ys.iter().map(|v| v.as_slice()).collect();
+    let mut out = vec![0.0; 4];
+    let mut w = vec![0.0; n];
+    let mut g = c.benchmark_group("vecops");
+    g.sample_size(30);
+    g.bench_function("mdot4", |b| b.iter(|| vecops::mdot(&x, &refs, &mut out)));
+    g.bench_function("maxpy4", |b| {
+        b.iter(|| vecops::maxpy(&mut w, &[0.1, 0.2, 0.3, 0.4], &refs))
+    });
+    g.bench_function("norm2", |b| b.iter(|| std::hint::black_box(vecops::norm2(&x))));
+    g.finish();
+}
+
+fn bench_partitioner(c: &mut Criterion) {
+    let mesh = MeshPreset::Small.build();
+    let graph = mesh.vertex_graph();
+    let mut g = c.benchmark_group("partitioner");
+    g.sample_size(10);
+    g.bench_function("multilevel_8way", |b| {
+        b.iter(|| {
+            std::hint::black_box(partition_graph(&graph, 8, &MultilevelConfig::default()))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_flux,
+    bench_recurrences,
+    bench_spmv,
+    bench_vecops,
+    bench_partitioner
+);
+criterion_main!(benches);

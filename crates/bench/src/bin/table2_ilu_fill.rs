@@ -1,0 +1,131 @@
+//! **Table II** — ILU(0) vs ILU(1): parallelism, convergence, speed-up.
+//!
+//! Paper (Mesh-C): available parallelism 248× vs 60×; linear iterations
+//! 777 vs 383; single-core 430 s vs 282 s; 10-core 62 s vs 81 s — the
+//! *less* convergent ILU-0 wins at 10 cores (≈1.3×) because its shorter
+//! dependency chains parallelize better.
+//!
+//! Here: iterations come from *real* solver runs at both fill levels;
+//! parallelism is the paper's flops-over-critical-path metric computed
+//! on the real factors; 10-core times combine each run's host-measured
+//! serial profile with the modeled per-kernel speedups at that fill.
+
+use fun3d_bench::model::model_speedups_fill;
+use fun3d_bench::{build_mesh, emit, KernelFixture};
+use fun3d_core::{Fun3dApp, FlowConditions, OptConfig};
+use fun3d_machine::MachineSpec;
+use fun3d_mesh::generator::MeshPreset;
+use fun3d_solver::ptc::PtcConfig;
+use fun3d_sparse::{ilu, DagStats, TempBuffer};
+use fun3d_util::report::{fmt_g, Table};
+
+struct FillCase {
+    parallelism: f64,
+    linear_iters: usize,
+    serial_s: f64,
+    ten_core_s: f64,
+}
+
+fn run_case(preset: MeshPreset, fill: usize) -> FillCase {
+    // real solve at this fill level
+    let mesh = build_mesh(preset);
+    let mut cfg = OptConfig::baseline();
+    cfg.ilu_fill = fill;
+    let mut app = Fun3dApp::new(mesh, FlowConditions::default(), cfg);
+    let (_, stats) = app.run(&PtcConfig {
+        dt0: 2.0,
+        rtol: 1e-8,
+        max_steps: 100,
+        ..Default::default()
+    });
+    assert!(stats.converged, "fill={fill} run failed");
+    let prof = app.profile();
+    let total = prof.seconds("total");
+
+    // DAG parallelism on the real factors
+    let fix = KernelFixture::new(preset);
+    let jac = fun3d_bench::jacobian_fixture(&fix, 1.0);
+    let pattern = ilu::symbolic_iluk(&jac, fill);
+    let factors = ilu::factor(&jac, &pattern, TempBuffer::Compressed);
+    let dag = DagStats::for_trsv(&factors.l, &factors.u);
+
+    // modeled 10-core time: scale each host-measured phase by its
+    // modeled speedup (flux/gradient/jacobian identical between fills;
+    // trsv/ilu schedules rebuilt per fill inside model_speedups via the
+    // fill-1 pattern — adequate for the fill-dependent *ratio* since the
+    // dominant fill effect enters through the measured phase times and
+    // the DAG parallelism cap below).
+    let machine = MachineSpec::xeon_e5_2690v2();
+    let s = model_speedups_fill(&fix, &machine, machine.cores, fill);
+    // Cap recurrence speedups by this fill's own available parallelism.
+    let trsv_speedup = s.trsv.min(dag.parallelism());
+    let ilu_speedup = s.ilu.min(dag.parallelism());
+    let tracked: f64 = ["flux", "trsv", "ilu", "gradient", "jacobian"]
+        .iter()
+        .map(|k| prof.seconds(k))
+        .sum();
+    let ten_core_s = prof.seconds("flux") / s.flux
+        + prof.seconds("trsv") / trsv_speedup
+        + prof.seconds("ilu") / ilu_speedup
+        + prof.seconds("gradient") / s.gradient
+        + prof.seconds("jacobian") / s.jacobian
+        + (total - tracked) / s.other;
+
+    FillCase {
+        parallelism: dag.parallelism(),
+        linear_iters: stats.linear_iters,
+        serial_s: total,
+        ten_core_s,
+    }
+}
+
+fn main() {
+    let cli = fun3d_bench::Cli::parse(MeshPreset::Medium);
+    let c0 = run_case(cli.mesh, 0);
+    let c1 = run_case(cli.mesh, 1);
+
+    let mut table = Table::new(
+        "Table II: ILU-0 vs ILU-1 (host-measured serial runs + modeled 10-core)",
+        &["quantity", "ILU-0", "ILU-1", "paper ILU-0", "paper ILU-1"],
+    );
+    table.row(&[
+        "available parallelism".into(),
+        format!("{:.0}x", c0.parallelism),
+        format!("{:.0}x", c1.parallelism),
+        "248x".into(),
+        "60x".into(),
+    ]);
+    table.row(&[
+        "linear iterations".into(),
+        c0.linear_iters.to_string(),
+        c1.linear_iters.to_string(),
+        "777".into(),
+        "383".into(),
+    ]);
+    table.row(&[
+        "serial time (s)".into(),
+        fmt_g(c0.serial_s),
+        fmt_g(c1.serial_s),
+        "430".into(),
+        "282".into(),
+    ]);
+    table.row(&[
+        "10-core time (s, modeled)".into(),
+        fmt_g(c0.ten_core_s),
+        fmt_g(c1.ten_core_s),
+        "62".into(),
+        "81".into(),
+    ]);
+    table.row(&[
+        "speedup over serial".into(),
+        format!("{:.1}x", c0.serial_s / c0.ten_core_s),
+        format!("{:.1}x", c1.serial_s / c1.ten_core_s),
+        "6.9x".into(),
+        "3.5x".into(),
+    ]);
+    emit("table2_ilu_fill", &table);
+    println!(
+        "\nILU-0 vs ILU-1 at 10 cores: {:.2}x (paper: ~1.3x in ILU-0's favor)",
+        c1.ten_core_s / c0.ten_core_s
+    );
+}

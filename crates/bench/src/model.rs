@@ -1,0 +1,151 @@
+//! Modeled kernel speedups for the full-application figures
+//! (Figs. 8a/8b, Table II): each kernel class's speedup at a given core
+//! count, from real plans and schedules charged to the paper machine.
+
+use crate::{jacobian_fixture, KernelFixture};
+use fun3d_machine::{kernels, EdgeLoopCosts, MachineSpec, RecurrenceCosts};
+use fun3d_partition::{partition_graph, MultilevelConfig, OwnerWritesPlan};
+use fun3d_sparse::{ilu, DagStats, P2pSchedule, TempBuffer};
+
+/// Modeled speedups of every kernel class at `cores` (20 SMT threads on
+/// 10 cores etc.), from real plans/schedules of the given fixture.
+pub struct KernelSpeedups {
+    /// flux (owner-writes + AoS + SIMD + prefetch) vs scalar SoA serial.
+    pub flux: f64,
+    /// gradient (owner-writes threading of the scalar kernel).
+    pub gradient: f64,
+    /// Jacobian assembly (edge loop, threading only).
+    pub jacobian: f64,
+    /// ILU factorization (P2P).
+    pub ilu: f64,
+    /// TRSV (P2P).
+    pub trsv: f64,
+    /// vector primitives etc. (threaded but bandwidth-bound).
+    pub other: f64,
+}
+
+pub fn model_speedups(fix: &KernelFixture, machine: &MachineSpec, cores: usize) -> KernelSpeedups {
+    model_speedups_fill(fix, machine, cores, 1)
+}
+
+/// Like [`model_speedups`] with an explicit ILU fill level (Table II).
+pub fn model_speedups_fill(
+    fix: &KernelFixture,
+    machine: &MachineSpec,
+    cores: usize,
+    fill: usize,
+) -> KernelSpeedups {
+    let costs = EdgeLoopCosts::default();
+    let rc = RecurrenceCosts::default();
+    let threads = cores * machine.smt;
+    let ne = fix.geom.nedges();
+    let graph = fun3d_mesh::Graph::from_edges(fix.mesh.nvertices(), &fix.geom.edges);
+    let plan = OwnerWritesPlan::build(
+        &fix.geom.edges,
+        &partition_graph(&graph, threads, &MultilevelConfig::default()),
+        threads,
+    );
+    let per_thread: Vec<usize> = plan.edges_of.iter().map(Vec::len).collect();
+
+    let edge_speedup = |serial_cyc: f64, par_cyc: f64| -> f64 {
+        let t0 =
+            kernels::edge_loop_time(machine, &[ne], serial_cyc, costs.dram_bytes_per_edge, 0.0);
+        let t1 = kernels::edge_loop_time(
+            machine,
+            &per_thread,
+            par_cyc,
+            costs.dram_bytes_per_edge,
+            0.0,
+        );
+        t0 / t1
+    };
+    let flux = edge_speedup(costs.scalar_soa, costs.simd_prefetch);
+    let gradient = edge_speedup(costs.scalar_aos, costs.scalar_aos);
+    let jacobian = gradient;
+
+    // recurrences on the real ILU(1) factors of the real Jacobian
+    let jac = jacobian_fixture(fix, 1.0);
+    let pattern = ilu::symbolic_iluk(&jac, fill);
+    let factors = ilu::factor(&jac, &pattern, TempBuffer::Compressed);
+    let p2p_f = P2pSchedule::forward(&factors.l, threads);
+    let p2p_b = P2pSchedule::backward(&factors.u, threads);
+    let fwd_blocks: Vec<usize> = (0..factors.nrows())
+        .map(|r| factors.l.row_ptr[r + 1] - factors.l.row_ptr[r] + 1)
+        .collect();
+    let bwd_blocks: Vec<usize> = (0..factors.nrows())
+        .map(|r| factors.u.row_ptr[r + 1] - factors.u.row_ptr[r] + 1)
+        .collect();
+    let loads = |s: &P2pSchedule, blocks: &[usize]| -> (Vec<usize>, Vec<usize>) {
+        (
+            s.tasks
+                .iter()
+                .map(|t| t.iter().map(|task| blocks[task.row as usize]).sum())
+                .collect(),
+            s.tasks
+                .iter()
+                .map(|t| t.iter().map(|task| task.waits.len()).sum())
+                .collect(),
+        )
+    };
+    let dag = DagStats::for_trsv(&factors.l, &factors.u);
+    let total_blocks =
+        (fwd_blocks.iter().sum::<usize>() + bwd_blocks.iter().sum::<usize>()) as f64;
+    let trsv_serial = machine.seconds(total_blocks * rc.trsv_cycles_per_block);
+    let (fl, fw) = loads(&p2p_f, &fwd_blocks);
+    let (bl, bw) = loads(&p2p_b, &bwd_blocks);
+    let trsv_par = kernels::p2p_time(
+        machine,
+        &fl,
+        &fw,
+        dag.critical_flops / 64.0,
+        rc.trsv_cycles_per_block,
+        rc.trsv_bytes_per_block,
+    ) + kernels::p2p_time(
+        machine,
+        &bl,
+        &bw,
+        dag.critical_flops / 64.0,
+        rc.trsv_cycles_per_block,
+        rc.trsv_bytes_per_block,
+    );
+    let trsv = trsv_serial / trsv_par;
+
+    let ilu_blocks: Vec<usize> = (0..factors.nrows())
+        .map(|r| {
+            let low = factors.l.row_ptr[r + 1] - factors.l.row_ptr[r];
+            let updates: usize = factors.l.col_idx
+                [factors.l.row_ptr[r]..factors.l.row_ptr[r + 1]]
+                .iter()
+                .map(|&k| factors.u.row_ptr[k as usize + 1] - factors.u.row_ptr[k as usize])
+                .sum();
+            low + updates + 1
+        })
+        .collect();
+    let ilu_dag = DagStats::for_ilu(&pattern);
+    let ilu_serial =
+        machine.seconds(ilu_blocks.iter().sum::<usize>() as f64 * rc.ilu_cycles_per_block);
+    let (il, iw) = loads(&p2p_f, &ilu_blocks);
+    let ilu_par = kernels::p2p_time(
+        machine,
+        &il,
+        &iw,
+        ilu_dag.critical_flops / 128.0,
+        rc.ilu_cycles_per_block,
+        rc.ilu_bytes_per_block,
+    );
+    let ilu_speedup = ilu_serial / ilu_par;
+
+    // Vector primitives: streaming, bandwidth-bound — scale with the
+    // bandwidth ramp (saturates ~4 cores), slightly uplifted by SIMD.
+    let other = (machine.bandwidth_at(cores) / machine.bandwidth_at(1)).min(cores as f64);
+
+    KernelSpeedups {
+        flux,
+        gradient,
+        jacobian,
+        ilu: ilu_speedup,
+        trsv,
+        other,
+    }
+}
+

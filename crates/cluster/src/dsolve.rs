@@ -1,0 +1,433 @@
+//! A genuinely distributed GMRES + block-Jacobi-ILU solve over the rank
+//! runtime — the correctness backbone of the multi-node experiments.
+//!
+//! Each rank owns the matrix rows of its subdomain's vertices; matrix
+//! columns reference owned + ghost vertices, and a halo exchange
+//! refreshes ghost values before every matrix application (PETSc's
+//! `VecScatter`). Inner products allreduce over ranks. The preconditioner
+//! is one ILU per rank on the owned-owned diagonal block — single-level
+//! additive Schwarz with zero overlap, whose convergence degradation with
+//! rank count is exactly the effect the paper reports (+30% iterations at
+//! 256 nodes, Section VI.B.3).
+
+use crate::comm::Comm;
+use crate::decompose::Subdomain;
+use fun3d_sparse::{ilu, trsv, Bcsr4, IluFactors};
+
+/// Halo exchange with an arbitrary per-vertex stride: sends owned
+/// boundary values, fills ghost slots.
+pub fn halo_exchange_stride(comm: &Comm, sub: &Subdomain, x: &mut [f64], stride: usize) {
+    assert_eq!(x.len(), sub.nlocal() * stride);
+    const TAG: u32 = 11;
+    for (nbr, list) in &sub.send_lists {
+        let mut buf = Vec::with_capacity(list.len() * stride);
+        for &l in list {
+            buf.extend_from_slice(&x[l as usize * stride..(l as usize + 1) * stride]);
+        }
+        comm.send(*nbr, TAG, buf);
+    }
+    for (nbr, list) in &sub.recv_lists {
+        let buf = comm.recv(*nbr, TAG);
+        assert_eq!(buf.len(), list.len() * stride);
+        for (i, &l) in list.iter().enumerate() {
+            x[l as usize * stride..(l as usize + 1) * stride]
+                .copy_from_slice(&buf[i * stride..(i + 1) * stride]);
+        }
+    }
+}
+
+/// Halo exchange of a 4-vars-per-vertex vector (the state layout).
+pub fn halo_exchange(comm: &Comm, sub: &Subdomain, x: &mut [f64]) {
+    halo_exchange_stride(comm, sub, x, 4);
+}
+
+/// Extracts the local block rows of a global BCSR matrix: rows for owned
+/// vertices (local row ids), columns remapped to local (owned + ghost)
+/// ids; ghost rows are left empty.
+pub fn localize_matrix(aglob: &Bcsr4, sub: &Subdomain) -> Bcsr4 {
+    let nlocal = sub.nlocal();
+    let mut g2l = std::collections::HashMap::with_capacity(nlocal);
+    for (l, &g) in sub.owned.iter().enumerate() {
+        g2l.insert(g, l as u32);
+    }
+    for (l, &g) in sub.ghosts.iter().enumerate() {
+        g2l.insert(g, (sub.nowned() + l) as u32);
+    }
+    let mut cols: Vec<Vec<u32>> = vec![Vec::new(); nlocal];
+    for (lr, &g) in sub.owned.iter().enumerate() {
+        let g = g as usize;
+        for k in aglob.row_ptr[g]..aglob.row_ptr[g + 1] {
+            if let Some(&lc) = g2l.get(&aglob.col_idx[k]) {
+                cols[lr].push(lc);
+            }
+            // columns outside owned+ghost can only appear if the matrix
+            // pattern is wider than the mesh edges; the Jacobian's is not.
+        }
+        cols[lr].sort_unstable();
+    }
+    let mut local = Bcsr4::from_pattern(&cols);
+    for (lr, &g) in sub.owned.iter().enumerate() {
+        let g = g as usize;
+        for k in aglob.row_ptr[g]..aglob.row_ptr[g + 1] {
+            if let Some(&lc) = g2l.get(&aglob.col_idx[k]) {
+                let lk = local.find(lr, lc).unwrap();
+                local.blocks[lk * 16..(lk + 1) * 16]
+                    .copy_from_slice(&aglob.blocks[k * 16..(k + 1) * 16]);
+            }
+        }
+    }
+    local
+}
+
+/// Extracts the owned-owned diagonal block and factors it with ILU(fill).
+pub fn local_ilu(local: &Bcsr4, sub: &Subdomain, fill: usize) -> IluFactors {
+    let nowned = sub.nowned();
+    let cols: Vec<Vec<u32>> = (0..nowned)
+        .map(|r| {
+            local.col_idx[local.row_ptr[r]..local.row_ptr[r + 1]]
+                .iter()
+                .copied()
+                .filter(|&c| (c as usize) < nowned)
+                .collect()
+        })
+        .collect();
+    let mut diag = Bcsr4::from_pattern(&cols);
+    for r in 0..nowned {
+        for k in local.row_ptr[r]..local.row_ptr[r + 1] {
+            let c = local.col_idx[k];
+            if (c as usize) < nowned {
+                let dk = diag.find(r, c).unwrap();
+                diag.blocks[dk * 16..(dk + 1) * 16]
+                    .copy_from_slice(&local.blocks[k * 16..(k + 1) * 16]);
+            }
+        }
+    }
+    ilu::iluk(&diag, fill)
+}
+
+/// One rank's distributed linear-system context.
+pub struct DistSystem {
+    /// This rank's subdomain.
+    pub sub: Subdomain,
+    /// Local matrix rows (owned rows, owned+ghost columns).
+    pub a: Bcsr4,
+    /// Block-Jacobi ILU of the owned-owned block.
+    pub precond: IluFactors,
+}
+
+impl DistSystem {
+    /// Builds from the global matrix and a subdomain.
+    pub fn new(aglob: &Bcsr4, sub: Subdomain, fill: usize) -> DistSystem {
+        let a = localize_matrix(aglob, &sub);
+        let precond = local_ilu(&a, &sub, fill);
+        DistSystem { sub, a, precond }
+    }
+
+    /// Owned scalar dimension.
+    pub fn nowned(&self) -> usize {
+        self.sub.nowned() * 4
+    }
+
+    /// Distributed matvec: halo-exchange `x` (length nlocal·4, owned part
+    /// significant), then `y_owned = A_local · x_local`.
+    pub fn spmv(&self, comm: &Comm, x: &mut [f64], y: &mut [f64]) {
+        halo_exchange(comm, &self.sub, x);
+        let mut full = vec![0.0; self.sub.nlocal() * 4];
+        self.a.spmv(x, &mut full);
+        y.copy_from_slice(&full[..self.nowned()]);
+    }
+
+    /// Applies the local ILU to the owned part of `r`.
+    pub fn apply_precond(&self, r: &[f64], z: &mut [f64]) {
+        let x = trsv::solve(&self.precond, &r[..self.nowned()]);
+        z[..self.nowned()].copy_from_slice(&x);
+    }
+}
+
+/// Distributed dot product over owned entries.
+pub fn ddot(comm: &Comm, x: &[f64], y: &[f64]) -> f64 {
+    let local: f64 = x.iter().zip(y).map(|(a, b)| a * b).sum();
+    comm.allreduce_sum(&[local])[0]
+}
+
+/// Distributed 2-norm over owned entries.
+pub fn dnorm2(comm: &Comm, x: &[f64]) -> f64 {
+    ddot(comm, x, x).sqrt()
+}
+
+/// Result of a distributed GMRES solve (per rank; identical on all).
+#[derive(Clone, Copy, Debug)]
+pub struct DistSolveResult {
+    /// Iterations used.
+    pub iterations: usize,
+    /// Final preconditioned residual norm.
+    pub residual: f64,
+    /// Whether the tolerance was met.
+    pub converged: bool,
+}
+
+/// Distributed left-preconditioned GMRES(restart). `b` and `x` are the
+/// owned parts; returns identical results on every rank.
+pub fn gmres(
+    comm: &Comm,
+    sys: &DistSystem,
+    b: &[f64],
+    x: &mut [f64],
+    restart: usize,
+    rtol: f64,
+    max_iters: usize,
+) -> DistSolveResult {
+    let n = sys.nowned();
+    assert_eq!(b.len(), n);
+    assert_eq!(x.len(), n);
+    let nlocal = sys.sub.nlocal() * 4;
+    let mut xfull = vec![0.0; nlocal];
+    let mut w = vec![0.0; n];
+    let mut z = vec![0.0; n];
+    let mut basis: Vec<Vec<f64>> = (0..restart + 1).map(|_| vec![0.0; n]).collect();
+    let mut h = vec![0.0; (restart + 1) * restart];
+
+    let mut total = 0usize;
+    let mut res0 = f64::NAN;
+    loop {
+        // r = M⁻¹(b − A x)
+        xfull[..n].copy_from_slice(x);
+        sys.spmv(comm, &mut xfull, &mut w);
+        for i in 0..n {
+            w[i] = b[i] - w[i];
+        }
+        sys.apply_precond(&w, &mut z);
+        let beta = dnorm2(comm, &z[..n]);
+        if res0.is_nan() {
+            res0 = beta;
+        }
+        if beta <= rtol * res0 || beta == 0.0 {
+            return DistSolveResult {
+                iterations: total,
+                residual: beta,
+                converged: true,
+            };
+        }
+        for i in 0..n {
+            basis[0][i] = z[i] / beta;
+        }
+        let mut g = vec![0.0; restart + 1];
+        g[0] = beta;
+        let mut cs = vec![0.0; restart];
+        let mut sn = vec![0.0; restart];
+        let mut kdone = 0usize;
+        let mut res = beta;
+        let mut converged = false;
+
+        for k in 0..restart {
+            if total >= max_iters {
+                break;
+            }
+            total += 1;
+            xfull[..n].copy_from_slice(&basis[k]);
+            sys.spmv(comm, &mut xfull, &mut w);
+            sys.apply_precond(&w, &mut z);
+            // CGS with one fused allreduce (VecMDot semantics)
+            let mut dots_local = vec![0.0; k + 1];
+            for (j, vj) in basis[..=k].iter().enumerate() {
+                dots_local[j] = z[..n].iter().zip(vj).map(|(a, b)| a * b).sum();
+            }
+            let dots = comm.allreduce_sum(&dots_local);
+            for (j, vj) in basis[..=k].iter().enumerate() {
+                for i in 0..n {
+                    z[i] -= dots[j] * vj[i];
+                }
+                h[k * (restart + 1) + j] = dots[j];
+            }
+            let hnorm = dnorm2(comm, &z[..n]);
+            h[k * (restart + 1) + k + 1] = hnorm;
+            kdone = k + 1;
+            if hnorm > 1e-14 * res.max(1.0) {
+                for i in 0..n {
+                    basis[k + 1][i] = z[i] / hnorm;
+                }
+            }
+            let col = &mut h[k * (restart + 1)..(k + 1) * (restart + 1)];
+            for i in 0..k {
+                let t = cs[i] * col[i] + sn[i] * col[i + 1];
+                col[i + 1] = -sn[i] * col[i] + cs[i] * col[i + 1];
+                col[i] = t;
+            }
+            let denom = (col[k] * col[k] + col[k + 1] * col[k + 1]).sqrt();
+            let (c, s) = if col[k + 1] == 0.0 {
+                (1.0, 0.0)
+            } else {
+                (col[k] / denom, col[k + 1] / denom)
+            };
+            cs[k] = c;
+            sn[k] = s;
+            col[k] = c * col[k] + s * col[k + 1];
+            col[k + 1] = 0.0;
+            let t = c * g[k] + s * g[k + 1];
+            g[k + 1] = -s * g[k] + c * g[k + 1];
+            g[k] = t;
+            res = g[k + 1].abs();
+            if res <= rtol * res0 || hnorm <= 1e-14 * res.max(1.0) {
+                converged = true;
+                break;
+            }
+        }
+
+        // form update
+        let mut y = vec![0.0; kdone];
+        for i in (0..kdone).rev() {
+            let mut acc = g[i];
+            for j in i + 1..kdone {
+                acc -= h[j * (restart + 1) + i] * y[j];
+            }
+            y[i] = acc / h[i * (restart + 1) + i];
+        }
+        for (j, vj) in basis[..kdone].iter().enumerate() {
+            for i in 0..n {
+                x[i] += y[j] * vj[i];
+            }
+        }
+        if converged || total >= max_iters {
+            return DistSolveResult {
+                iterations: total,
+                residual: res,
+                converged,
+            };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comm::Universe;
+    use crate::decompose::Decomposition;
+    use fun3d_mesh::generator::MeshPreset;
+
+    fn global_system() -> (Bcsr4, Vec<f64>, Vec<f64>) {
+        let m = MeshPreset::Tiny.build();
+        let mut a = Bcsr4::from_edges(m.nvertices(), &m.edges());
+        a.fill_diag_dominant(123);
+        let n = a.dim();
+        let xref: Vec<f64> = (0..n).map(|i| (i as f64 * 0.17).sin()).collect();
+        let mut b = vec![0.0; n];
+        a.spmv(&xref, &mut b);
+        (a, b, xref)
+    }
+
+    fn solve_distributed(nranks: usize) -> (Vec<f64>, usize) {
+        let (a, b, _) = global_system();
+        let nv = a.nrows();
+        let edges = {
+            let m = MeshPreset::Tiny.build();
+            m.edges()
+        };
+        let decomp = Decomposition::build(nv, &edges, nranks);
+        let subs = decomp.subdomains.clone();
+        let results = Universe::run(nranks, |comm| {
+            let sub = subs[comm.rank()].clone();
+            let sys = DistSystem::new(&a, sub, 0);
+            let blocal: Vec<f64> = sys
+                .sub
+                .owned
+                .iter()
+                .flat_map(|&g| b[g as usize * 4..g as usize * 4 + 4].to_vec())
+                .collect();
+            let mut x = vec![0.0; sys.nowned()];
+            let stats = gmres(&comm, &sys, &blocal, &mut x, 30, 1e-10, 500);
+            assert!(stats.converged, "rank {} diverged", comm.rank());
+            (sys.sub.owned.clone(), x, stats.iterations)
+        });
+        // stitch the global solution
+        let mut xg = vec![0.0; nv * 4];
+        let mut iters = 0;
+        for (owned, x, it) in results {
+            iters = it;
+            for (l, &g) in owned.iter().enumerate() {
+                xg[g as usize * 4..g as usize * 4 + 4].copy_from_slice(&x[l * 4..l * 4 + 4]);
+            }
+        }
+        (xg, iters)
+    }
+
+    #[test]
+    fn distributed_matches_reference_solution() {
+        let (_, _, xref) = global_system();
+        for nranks in [1usize, 2, 4] {
+            let (xg, _) = solve_distributed(nranks);
+            let err: f64 = xg
+                .iter()
+                .zip(&xref)
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum::<f64>()
+                .sqrt();
+            let norm: f64 = xref.iter().map(|v| v * v).sum::<f64>().sqrt();
+            assert!(err < 1e-6 * norm, "nranks={nranks}: err {err} norm {norm}");
+        }
+    }
+
+    #[test]
+    fn more_subdomains_weaker_preconditioner() {
+        // Schwarz convergence degradation: iterations grow (or stay
+        // equal) as the domain is split more finely.
+        let (_, i1) = solve_distributed(1);
+        let (_, i4) = solve_distributed(4);
+        assert!(
+            i4 >= i1,
+            "iterations should not drop with more subdomains: {i1} -> {i4}"
+        );
+    }
+
+    #[test]
+    fn halo_exchange_moves_owned_to_ghosts() {
+        let m = MeshPreset::Tiny.build();
+        let edges = m.edges();
+        let nv = m.nvertices();
+        let decomp = Decomposition::build(nv, &edges, 3);
+        let subs = decomp.subdomains.clone();
+        Universe::run(3, |comm| {
+            let sub = &subs[comm.rank()];
+            let mut x = vec![0.0; sub.nlocal() * 4];
+            // owned entries = global id, ghosts = -1
+            for (l, &g) in sub.owned.iter().enumerate() {
+                for c in 0..4 {
+                    x[l * 4 + c] = g as f64;
+                }
+            }
+            for l in sub.nowned()..sub.nlocal() {
+                for c in 0..4 {
+                    x[l * 4 + c] = -1.0;
+                }
+            }
+            halo_exchange(&comm, sub, &mut x);
+            for (l, &g) in sub.ghosts.iter().enumerate() {
+                let li = sub.nowned() + l;
+                for c in 0..4 {
+                    assert_eq!(x[li * 4 + c], g as f64, "ghost {g} not filled");
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn localize_matrix_preserves_owned_rows() {
+        let (a, _, _) = global_system();
+        let m = MeshPreset::Tiny.build();
+        let decomp = Decomposition::build(a.nrows(), &m.edges(), 2);
+        let sub = decomp.subdomains[0].clone();
+        let local = localize_matrix(&a, &sub);
+        assert_eq!(local.nrows(), sub.nlocal());
+        // row sums of owned rows must match the global rows (all columns
+        // of a mesh-pattern row are owned or ghost)
+        for (lr, &g) in sub.owned.iter().enumerate() {
+            let g = g as usize;
+            let global_blocks = a.row_ptr[g + 1] - a.row_ptr[g];
+            let local_blocks = local.row_ptr[lr + 1] - local.row_ptr[lr];
+            assert_eq!(global_blocks, local_blocks, "row {g}");
+            let gsum: f64 = a.blocks[a.row_ptr[g] * 16..a.row_ptr[g + 1] * 16].iter().sum();
+            let lsum: f64 =
+                local.blocks[local.row_ptr[lr] * 16..local.row_ptr[lr + 1] * 16].iter().sum();
+            assert!((gsum - lsum).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,668 @@
+//! The edge-based flux kernel in every optimization variant of Section V.A.
+//!
+//! All variants compute the identical discrete residual contribution
+//!
+//! ```text
+//! for each edge (a, b):  F* = Roe(qL, qR, n_ab);  res[a] += F*;  res[b] -= F*
+//! ```
+//!
+//! with second-order reconstruction `qL = q_a + ½∇q_a·r`, `qR = q_b −
+//! ½∇q_b·r`. They differ in how they are scheduled and how node data is
+//! laid out:
+//!
+//! | variant | threading | node layout | SIMD | prefetch |
+//! |---|---|---|---|---|
+//! | [`serial_soa`] | — | SoA | — | — |
+//! | [`serial_aos`] | — | AoS | — | — |
+//! | [`serial_aos_simd`] | — | AoS | 4-edge batch | — |
+//! | [`serial_aos_simd_prefetch`] | — | AoS | 4-edge batch | L1+L2 |
+//! | [`atomics`] | natural edge split | AoS | — | — |
+//! | [`owner_writes`] | vertex partition, owner-only writes | AoS | — | — |
+//! | [`owner_writes_opt`] | vertex partition, owner-only writes | AoS | 4-edge batch | L1+L2 |
+//!
+//! The SIMD batch follows the paper's restructuring exactly: the
+//! dependency-free compute runs one edge per lane into a temporary
+//! buffer; results are committed with scalar writes afterward.
+
+use crate::euler;
+use crate::geom::{EdgeGeom, NodeAos, NodeSoa};
+use fun3d_partition::OwnerWritesPlan;
+use fun3d_simd::{aos_load_transpose, prefetch_l1, prefetch_l2, F64x4};
+use fun3d_threads::{AtomicF64View, ThreadPool};
+
+/// Prefetch distance in edges (tuned constant; ablation in the bench
+/// suite sweeps it).
+pub const PREFETCH_DIST: usize = 16;
+
+/// Shared per-edge physics, scalar form.
+#[inline(always)]
+fn edge_flux(
+    qa: &[f64; 4],
+    qb: &[f64; 4],
+    ga: &[f64],
+    gb: &[f64],
+    n: &[f64; 3],
+    r: &[f64; 3],
+    beta: f64,
+) -> [f64; 4] {
+    let mut ql = [0.0f64; 4];
+    let mut qr = [0.0f64; 4];
+    for c in 0..4 {
+        let da = ga[c * 3] * r[0] + ga[c * 3 + 1] * r[1] + ga[c * 3 + 2] * r[2];
+        let db = gb[c * 3] * r[0] + gb[c * 3 + 1] * r[1] + gb[c * 3 + 2] * r[2];
+        ql[c] = qa[c] + 0.5 * da;
+        qr[c] = qb[c] - 0.5 * db;
+    }
+    euler::roe_flux(&ql, &qr, n, beta)
+}
+
+/// Baseline: serial scalar loop over edges, SoA node data (4 + 12
+/// separate gathers per endpoint).
+pub fn serial_soa(geom: &EdgeGeom, node: &NodeSoa, beta: f64, res: &mut [f64]) {
+    assert_eq!(res.len(), node.n * 4);
+    for (k, e) in geom.edges.iter().enumerate() {
+        let (a, b) = (e[0] as usize, e[1] as usize);
+        let qa = node.state(a);
+        let qb = node.state(b);
+        let ga = node.gradient(a);
+        let gb = node.gradient(b);
+        let n = [geom.nx[k], geom.ny[k], geom.nz[k]];
+        let r = [geom.rx[k], geom.ry[k], geom.rz[k]];
+        let f = edge_flux(&qa, &qb, &ga, &gb, &n, &r, beta);
+        for c in 0..4 {
+            res[a * 4 + c] += f[c];
+            res[b * 4 + c] -= f[c];
+        }
+    }
+}
+
+/// Serial scalar loop with AoS node data (one contiguous load per
+/// endpoint's state and gradient).
+pub fn serial_aos(geom: &EdgeGeom, node: &NodeAos, beta: f64, res: &mut [f64]) {
+    assert_eq!(res.len(), node.n * 4);
+    for (k, e) in geom.edges.iter().enumerate() {
+        let (a, b) = (e[0] as usize, e[1] as usize);
+        let qa = node.state(a);
+        let qb = node.state(b);
+        let ga = node.gradient(a);
+        let gb = node.gradient(b);
+        let n = [geom.nx[k], geom.ny[k], geom.nz[k]];
+        let r = [geom.rx[k], geom.ry[k], geom.rz[k]];
+        let f = edge_flux(&qa, &qb, &ga, &gb, &n, &r, beta);
+        for c in 0..4 {
+            res[a * 4 + c] += f[c];
+            res[b * 4 + c] -= f[c];
+        }
+    }
+}
+
+/// Vectorized per-edge physics: one edge per SIMD lane.
+#[inline(always)]
+fn edge_flux_simd(
+    qa: &[F64x4; 4],
+    qb: &[F64x4; 4],
+    ga: &[F64x4; 12],
+    gb: &[F64x4; 12],
+    n: &[F64x4; 3],
+    r: &[F64x4; 3],
+    beta: f64,
+) -> [F64x4; 4] {
+    // reconstruction
+    let mut ql = [F64x4::zero(); 4];
+    let mut qr = [F64x4::zero(); 4];
+    for c in 0..4 {
+        let da = ga[c * 3] * r[0] + ga[c * 3 + 1] * r[1] + ga[c * 3 + 2] * r[2];
+        let db = gb[c * 3] * r[0] + gb[c * 3 + 1] * r[1] + gb[c * 3 + 2] * r[2];
+        ql[c] = qa[c] + da * 0.5;
+        qr[c] = qb[c] - db * 0.5;
+    }
+    // fluxes at both sides
+    let flux_of = |q: &[F64x4; 4]| -> [F64x4; 4] {
+        let theta = n[0] * q[1] + n[1] * q[2] + n[2] * q[3];
+        [
+            theta * beta,
+            q[1] * theta + n[0] * q[0],
+            q[2] * theta + n[1] * q[0],
+            q[3] * theta + n[2] * q[0],
+        ]
+    };
+    let fl = flux_of(&ql);
+    let fr = flux_of(&qr);
+    // mean state and wave structure
+    let qm = [
+        (ql[0] + qr[0]) * 0.5,
+        (ql[1] + qr[1]) * 0.5,
+        (ql[2] + qr[2]) * 0.5,
+        (ql[3] + qr[3]) * 0.5,
+    ];
+    let theta = n[0] * qm[1] + n[1] * qm[2] + n[2] * qm[3];
+    let s2 = n[0] * n[0] + n[1] * n[1] + n[2] * n[2];
+    let c = (theta * theta + s2 * beta).sqrt();
+    // |A| polynomial coefficients per lane
+    let m2 = theta + c;
+    let m3 = theta - c;
+    let c2inv = F64x4::splat(1.0) / (c * c);
+    let l1 = theta.abs() * c2inv * -1.0;
+    let l2 = m2.abs() * c2inv * 0.5;
+    let l3 = m3.abs() * c2inv * 0.5;
+    let pa = l1 + l2 + l3;
+    let pb = -(l1 * (m2 + m3) + l2 * (theta + m3) + l3 * (theta + m2));
+    let pd = l1 * m2 * m3 + l2 * theta * m3 + l3 * theta * m2;
+    // A(qm) * x applied twice, lane-wise
+    let dq = [qr[0] - ql[0], qr[1] - ql[1], qr[2] - ql[2], qr[3] - ql[3]];
+    let amul = |x: &[F64x4; 4]| -> [F64x4; 4] {
+        let th_x = n[0] * x[1] + n[1] * x[2] + n[2] * x[3];
+        let theta_full = theta; // Θ at mean state
+        [
+            th_x * beta,
+            x[0] * n[0] + x[1] * theta_full + qm[1] * th_x,
+            x[0] * n[1] + x[2] * theta_full + qm[2] * th_x,
+            x[0] * n[2] + x[3] * theta_full + qm[3] * th_x,
+        ]
+    };
+    let adq = amul(&dq);
+    let aadq = amul(&adq);
+    let mut out = [F64x4::zero(); 4];
+    for k in 0..4 {
+        let diss = pa * aadq[k] + pb * adq[k] + pd * dq[k];
+        out[k] = (fl[k] + fr[k] - diss) * 0.5;
+    }
+    out
+}
+
+/// Gathers the SIMD-transposed state and gradient of four vertices.
+#[inline(always)]
+fn gather4(node: &NodeAos, idx: [usize; 4]) -> ([F64x4; 4], [F64x4; 12]) {
+    let q: [F64x4; 4] = aos_load_transpose::<4>(&node.q, 4, idx);
+    let g: [F64x4; 12] = aos_load_transpose::<12>(&node.grad, 12, idx);
+    (q, g)
+}
+
+/// Processes edges `[k0, k0+4)` as one SIMD batch into `fout`.
+#[inline(always)]
+fn simd_batch(geom: &EdgeGeom, node: &NodeAos, beta: f64, k0: usize, fout: &mut [[f64; 4]; 4]) {
+    let ia = [
+        geom.edges[k0][0] as usize,
+        geom.edges[k0 + 1][0] as usize,
+        geom.edges[k0 + 2][0] as usize,
+        geom.edges[k0 + 3][0] as usize,
+    ];
+    let ib = [
+        geom.edges[k0][1] as usize,
+        geom.edges[k0 + 1][1] as usize,
+        geom.edges[k0 + 2][1] as usize,
+        geom.edges[k0 + 3][1] as usize,
+    ];
+    let (qa, ga) = gather4(node, ia);
+    let (qb, gb) = gather4(node, ib);
+    let n = [
+        F64x4::from_slice(&geom.nx[k0..k0 + 4]),
+        F64x4::from_slice(&geom.ny[k0..k0 + 4]),
+        F64x4::from_slice(&geom.nz[k0..k0 + 4]),
+    ];
+    let r = [
+        F64x4::from_slice(&geom.rx[k0..k0 + 4]),
+        F64x4::from_slice(&geom.ry[k0..k0 + 4]),
+        F64x4::from_slice(&geom.rz[k0..k0 + 4]),
+    ];
+    let f = edge_flux_simd(&qa, &qb, &ga, &gb, &n, &r, beta);
+    for lane in 0..4 {
+        for c in 0..4 {
+            fout[lane][c] = f[c][lane];
+        }
+    }
+}
+
+/// Serial SIMD variant: 4-edge batches, compute into a temporary, scalar
+/// write-out; scalar tail loop.
+pub fn serial_aos_simd(geom: &EdgeGeom, node: &NodeAos, beta: f64, res: &mut [f64]) {
+    assert_eq!(res.len(), node.n * 4);
+    let ne = geom.nedges();
+    let nbatch = ne / 4 * 4;
+    let mut fout = [[0.0f64; 4]; 4];
+    let mut k = 0;
+    while k < nbatch {
+        simd_batch(geom, node, beta, k, &mut fout);
+        for lane in 0..4 {
+            let e = geom.edges[k + lane];
+            let (a, b) = (e[0] as usize, e[1] as usize);
+            for c in 0..4 {
+                res[a * 4 + c] += fout[lane][c];
+                res[b * 4 + c] -= fout[lane][c];
+            }
+        }
+        k += 4;
+    }
+    scalar_tail(geom, node, beta, res, nbatch, ne);
+}
+
+/// SIMD + software prefetch: node data of edges `PREFETCH_DIST` ahead is
+/// requested into L1 and edge arrays into L2.
+pub fn serial_aos_simd_prefetch(geom: &EdgeGeom, node: &NodeAos, beta: f64, res: &mut [f64]) {
+    serial_aos_simd_prefetch_dist(geom, node, beta, res, PREFETCH_DIST);
+}
+
+/// Like [`serial_aos_simd_prefetch`] with an explicit prefetch distance
+/// (in edges) — the knob the distance-sweep ablation turns.
+pub fn serial_aos_simd_prefetch_dist(
+    geom: &EdgeGeom,
+    node: &NodeAos,
+    beta: f64,
+    res: &mut [f64],
+    dist: usize,
+) {
+    assert_eq!(res.len(), node.n * 4);
+    let ne = geom.nedges();
+    let nbatch = ne / 4 * 4;
+    let mut fout = [[0.0f64; 4]; 4];
+    let mut k = 0;
+    while k < nbatch {
+        let pk = k + dist;
+        if pk + 4 <= ne {
+            for lane in 0..4 {
+                let e = geom.edges[pk + lane];
+                prefetch_l1(&node.q, e[0] as usize * 4);
+                prefetch_l1(&node.q, e[1] as usize * 4);
+                prefetch_l1(&node.grad, e[0] as usize * 12);
+                prefetch_l1(&node.grad, e[1] as usize * 12);
+            }
+            prefetch_l2(&geom.nx, pk);
+            prefetch_l2(&geom.edges, pk);
+        }
+        simd_batch(geom, node, beta, k, &mut fout);
+        for lane in 0..4 {
+            let e = geom.edges[k + lane];
+            let (a, b) = (e[0] as usize, e[1] as usize);
+            for c in 0..4 {
+                res[a * 4 + c] += fout[lane][c];
+                res[b * 4 + c] -= fout[lane][c];
+            }
+        }
+        k += 4;
+    }
+    scalar_tail(geom, node, beta, res, nbatch, ne);
+}
+
+#[inline]
+fn scalar_tail(
+    geom: &EdgeGeom,
+    node: &NodeAos,
+    beta: f64,
+    res: &mut [f64],
+    from: usize,
+    to: usize,
+) {
+    for k in from..to {
+        let e = geom.edges[k];
+        let (a, b) = (e[0] as usize, e[1] as usize);
+        let qa = node.state(a);
+        let qb = node.state(b);
+        let n = [geom.nx[k], geom.ny[k], geom.nz[k]];
+        let r = [geom.rx[k], geom.ry[k], geom.rz[k]];
+        let f = edge_flux(&qa, &qb, node.gradient(a), node.gradient(b), &n, &r, beta);
+        for c in 0..4 {
+            res[a * 4 + c] += f[c];
+            res[b * 4 + c] -= f[c];
+        }
+    }
+}
+
+/// "Basic partitioning with atomics": edges split in natural contiguous
+/// ranges over threads; every vertex update is an atomic CAS add.
+pub fn atomics(pool: &ThreadPool, geom: &EdgeGeom, node: &NodeAos, beta: f64, res: &mut [f64]) {
+    assert_eq!(res.len(), node.n * 4);
+    let view = AtomicF64View::new(res);
+    pool.parallel_for(geom.nedges(), |_tid, range| {
+        for k in range {
+            let e = geom.edges[k];
+            let (a, b) = (e[0] as usize, e[1] as usize);
+            let qa = node.state(a);
+            let qb = node.state(b);
+            let n = [geom.nx[k], geom.ny[k], geom.nz[k]];
+            let r = [geom.rx[k], geom.ry[k], geom.rz[k]];
+            let f = edge_flux(&qa, &qb, node.gradient(a), node.gradient(b), &n, &r, beta);
+            for c in 0..4 {
+                view.fetch_add(a * 4 + c, f[c]);
+                view.fetch_add(b * 4 + c, -f[c]);
+            }
+        }
+    });
+}
+
+/// Owner-only-writes threading (scalar AoS path): each thread walks its
+/// plan edges (interior edges once, cut edges redundantly on both owning
+/// threads) and writes only the endpoints it owns.
+pub fn owner_writes(
+    pool: &ThreadPool,
+    plan: &OwnerWritesPlan,
+    geom: &EdgeGeom,
+    node: &NodeAos,
+    beta: f64,
+    res: &mut [f64],
+) {
+    assert_eq!(res.len(), node.n * 4);
+    assert_eq!(pool.size(), plan.nthreads());
+    let rp = SendPtr(res.as_mut_ptr());
+    pool.run(|tid| {
+        let rp = &rp;
+        let edges = &plan.edges_of[tid];
+        let masks = &plan.writes_of[tid];
+        for (idx, &eid) in edges.iter().enumerate() {
+            let k = eid as usize;
+            let e = geom.edges[k];
+            let (a, b) = (e[0] as usize, e[1] as usize);
+            let qa = node.state(a);
+            let qb = node.state(b);
+            let n = [geom.nx[k], geom.ny[k], geom.nz[k]];
+            let r = [geom.rx[k], geom.ry[k], geom.rz[k]];
+            let f = edge_flux(&qa, &qb, node.gradient(a), node.gradient(b), &n, &r, beta);
+            let mask = masks[idx];
+            // SAFETY: owner-only writes — vertex a (resp. b) is written
+            // only by the thread owning it, per the plan's write masks.
+            unsafe {
+                if mask & 1 != 0 {
+                    for c in 0..4 {
+                        *rp.0.add(a * 4 + c) += f[c];
+                    }
+                }
+                if mask & 2 != 0 {
+                    for c in 0..4 {
+                        *rp.0.add(b * 4 + c) -= f[c];
+                    }
+                }
+            }
+        }
+    });
+}
+
+/// Owner-only-writes with the full single-thread optimization stack:
+/// 4-edge SIMD batches, temporary-buffer write-out, software prefetch.
+pub fn owner_writes_opt(
+    pool: &ThreadPool,
+    plan: &OwnerWritesPlan,
+    geom: &EdgeGeom,
+    node: &NodeAos,
+    beta: f64,
+    res: &mut [f64],
+) {
+    assert_eq!(res.len(), node.n * 4);
+    assert_eq!(pool.size(), plan.nthreads());
+    let rp = SendPtr(res.as_mut_ptr());
+    pool.run(|tid| {
+        let rp = &rp;
+        let edges = &plan.edges_of[tid];
+        let masks = &plan.writes_of[tid];
+        let ne = edges.len();
+        let nbatch = ne / 4 * 4;
+        let mut fout = [[0.0f64; 4]; 4];
+        let mut i = 0;
+        while i < nbatch {
+            // prefetch ahead within this thread's edge list
+            let pi = i + PREFETCH_DIST;
+            if pi + 4 <= ne {
+                for lane in 0..4 {
+                    let e = geom.edges[edges[pi + lane] as usize];
+                    prefetch_l1(&node.q, e[0] as usize * 4);
+                    prefetch_l1(&node.q, e[1] as usize * 4);
+                    prefetch_l1(&node.grad, e[0] as usize * 12);
+                    prefetch_l1(&node.grad, e[1] as usize * 12);
+                }
+            }
+            // gather the 4 (possibly non-consecutive) edges of the batch
+            let ks = [
+                edges[i] as usize,
+                edges[i + 1] as usize,
+                edges[i + 2] as usize,
+                edges[i + 3] as usize,
+            ];
+            let ia = [
+                geom.edges[ks[0]][0] as usize,
+                geom.edges[ks[1]][0] as usize,
+                geom.edges[ks[2]][0] as usize,
+                geom.edges[ks[3]][0] as usize,
+            ];
+            let ib = [
+                geom.edges[ks[0]][1] as usize,
+                geom.edges[ks[1]][1] as usize,
+                geom.edges[ks[2]][1] as usize,
+                geom.edges[ks[3]][1] as usize,
+            ];
+            let (qa, ga) = gather4(node, ia);
+            let (qb, gb) = gather4(node, ib);
+            let n = [
+                F64x4([geom.nx[ks[0]], geom.nx[ks[1]], geom.nx[ks[2]], geom.nx[ks[3]]]),
+                F64x4([geom.ny[ks[0]], geom.ny[ks[1]], geom.ny[ks[2]], geom.ny[ks[3]]]),
+                F64x4([geom.nz[ks[0]], geom.nz[ks[1]], geom.nz[ks[2]], geom.nz[ks[3]]]),
+            ];
+            let r = [
+                F64x4([geom.rx[ks[0]], geom.rx[ks[1]], geom.rx[ks[2]], geom.rx[ks[3]]]),
+                F64x4([geom.ry[ks[0]], geom.ry[ks[1]], geom.ry[ks[2]], geom.ry[ks[3]]]),
+                F64x4([geom.rz[ks[0]], geom.rz[ks[1]], geom.rz[ks[2]], geom.rz[ks[3]]]),
+            ];
+            let f = edge_flux_simd(&qa, &qb, &ga, &gb, &n, &r, beta);
+            for lane in 0..4 {
+                for c in 0..4 {
+                    fout[lane][c] = f[c][lane];
+                }
+            }
+            // scalar write-out, owner-only
+            for lane in 0..4 {
+                let mask = masks[i + lane];
+                // SAFETY: owner-only writes per the plan.
+                unsafe {
+                    if mask & 1 != 0 {
+                        for c in 0..4 {
+                            *rp.0.add(ia[lane] * 4 + c) += fout[lane][c];
+                        }
+                    }
+                    if mask & 2 != 0 {
+                        for c in 0..4 {
+                            *rp.0.add(ib[lane] * 4 + c) -= fout[lane][c];
+                        }
+                    }
+                }
+            }
+            i += 4;
+        }
+        // scalar tail
+        for idx in nbatch..ne {
+            let k = edges[idx] as usize;
+            let e = geom.edges[k];
+            let (a, b) = (e[0] as usize, e[1] as usize);
+            let qa = node.state(a);
+            let qb = node.state(b);
+            let n = [geom.nx[k], geom.ny[k], geom.nz[k]];
+            let r = [geom.rx[k], geom.ry[k], geom.rz[k]];
+            let f = edge_flux(&qa, &qb, node.gradient(a), node.gradient(b), &n, &r, beta);
+            let mask = masks[idx];
+            // SAFETY: owner-only writes per the plan.
+            unsafe {
+                if mask & 1 != 0 {
+                    for c in 0..4 {
+                        *rp.0.add(a * 4 + c) += f[c];
+                    }
+                }
+                if mask & 2 != 0 {
+                    for c in 0..4 {
+                        *rp.0.add(b * 4 + c) -= f[c];
+                    }
+                }
+            }
+        }
+    });
+}
+
+struct SendPtr(*mut f64);
+// SAFETY: threads write disjoint vertex slots per the owner-writes plan.
+unsafe impl Send for SendPtr {}
+unsafe impl Sync for SendPtr {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fun3d_mesh::generator::MeshPreset;
+    use fun3d_mesh::DualMesh;
+    use fun3d_partition::{natural_partition, partition_graph, MultilevelConfig};
+    use fun3d_util::Rng64;
+
+    fn setup() -> (EdgeGeom, NodeAos, NodeSoa) {
+        let mesh = MeshPreset::Tiny.build();
+        let dual = DualMesh::build(&mesh);
+        let geom = EdgeGeom::build(&mesh, &dual);
+        let mut aos = NodeAos::zeros(mesh.nvertices());
+        let mut rng = Rng64::new(99);
+        for x in aos.q.iter_mut() {
+            *x = rng.range_f64(-0.5, 1.5);
+        }
+        for x in aos.grad.iter_mut() {
+            *x = rng.range_f64(-0.2, 0.2);
+        }
+        let soa = NodeSoa::from_aos(&aos);
+        (geom, aos, soa)
+    }
+
+    fn run_serial(geom: &EdgeGeom, aos: &NodeAos) -> Vec<f64> {
+        let mut res = vec![0.0; aos.n * 4];
+        serial_aos(geom, aos, 1.0, &mut res);
+        res
+    }
+
+    fn assert_close(a: &[f64], b: &[f64], tol: f64, what: &str) {
+        assert_eq!(a.len(), b.len());
+        for i in 0..a.len() {
+            assert!(
+                (a[i] - b[i]).abs() <= tol * (1.0 + a[i].abs()),
+                "{what}: entry {i}: {} vs {}",
+                a[i],
+                b[i]
+            );
+        }
+    }
+
+    #[test]
+    fn soa_matches_aos_exactly() {
+        let (geom, aos, soa) = setup();
+        let r1 = run_serial(&geom, &aos);
+        let mut r2 = vec![0.0; aos.n * 4];
+        serial_soa(&geom, &soa, 1.0, &mut r2);
+        assert_eq!(r1, r2, "layouts must not change results");
+    }
+
+    #[test]
+    fn simd_matches_scalar() {
+        let (geom, aos, _) = setup();
+        let r1 = run_serial(&geom, &aos);
+        let mut r2 = vec![0.0; aos.n * 4];
+        serial_aos_simd(&geom, &aos, 1.0, &mut r2);
+        assert_close(&r1, &r2, 1e-12, "simd");
+    }
+
+    #[test]
+    fn prefetch_matches_scalar() {
+        let (geom, aos, _) = setup();
+        let r1 = run_serial(&geom, &aos);
+        let mut r2 = vec![0.0; aos.n * 4];
+        serial_aos_simd_prefetch(&geom, &aos, 1.0, &mut r2);
+        assert_close(&r1, &r2, 1e-12, "prefetch");
+    }
+
+    #[test]
+    fn atomics_matches_scalar() {
+        let (geom, aos, _) = setup();
+        let r1 = run_serial(&geom, &aos);
+        let pool = ThreadPool::new(4);
+        let mut r2 = vec![0.0; aos.n * 4];
+        atomics(&pool, &geom, &aos, 1.0, &mut r2);
+        // atomic accumulation order is nondeterministic: tolerance only
+        assert_close(&r1, &r2, 1e-11, "atomics");
+    }
+
+    #[test]
+    fn owner_writes_natural_matches_serial_bitwise() {
+        let (geom, aos, _) = setup();
+        let r1 = run_serial(&geom, &aos);
+        for nt in [1usize, 2, 5] {
+            let pool = ThreadPool::new(nt);
+            let part = natural_partition(aos.n, nt);
+            let plan = OwnerWritesPlan::build(&geom.edges, &part, nt);
+            let mut r2 = vec![0.0; aos.n * 4];
+            owner_writes(&pool, &plan, &geom, &aos, 1.0, &mut r2);
+            assert_eq!(r1, r2, "owner-writes nt={nt} must be bitwise equal");
+        }
+    }
+
+    #[test]
+    fn owner_writes_metis_matches_serial_bitwise() {
+        let (geom, aos, _) = setup();
+        let r1 = run_serial(&geom, &aos);
+        let graph = fun3d_mesh::Graph::from_edges(aos.n, &geom.edges);
+        let nt = 4;
+        let part = partition_graph(&graph, nt, &MultilevelConfig::default());
+        let plan = OwnerWritesPlan::build(&geom.edges, &part, nt);
+        let pool = ThreadPool::new(nt);
+        let mut r2 = vec![0.0; aos.n * 4];
+        owner_writes(&pool, &plan, &geom, &aos, 1.0, &mut r2);
+        assert_eq!(r1, r2, "METIS owner-writes must be bitwise equal");
+    }
+
+    #[test]
+    fn owner_writes_opt_matches_scalar() {
+        let (geom, aos, _) = setup();
+        let r1 = run_serial(&geom, &aos);
+        let graph = fun3d_mesh::Graph::from_edges(aos.n, &geom.edges);
+        let nt = 3;
+        let part = partition_graph(&graph, nt, &MultilevelConfig::default());
+        let plan = OwnerWritesPlan::build(&geom.edges, &part, nt);
+        let pool = ThreadPool::new(nt);
+        let mut r2 = vec![0.0; aos.n * 4];
+        owner_writes_opt(&pool, &plan, &geom, &aos, 1.0, &mut r2);
+        assert_close(&r1, &r2, 1e-12, "owner-writes-opt");
+    }
+
+    #[test]
+    fn freestream_residual_is_zero_on_interior() {
+        // With a uniform state and zero gradients, interior flux
+        // contributions telescope: Σ_edges s_e · F(q∞) per vertex equals
+        // F(q∞) applied to the dual-face closure, which is minus the
+        // boundary normal. So interior vertices (no boundary faces) get
+        // exactly zero residual.
+        let mesh = MeshPreset::Tiny.build();
+        let dual = DualMesh::build(&mesh);
+        let geom = EdgeGeom::build(&mesh, &dual);
+        let mut aos = NodeAos::zeros(mesh.nvertices());
+        aos.set_freestream(&[0.3, 1.0, 0.1, -0.2]);
+        let mut res = vec![0.0; aos.n * 4];
+        serial_aos(&geom, &aos, 1.0, &mut res);
+        let on_boundary: std::collections::HashSet<u32> = mesh
+            .boundary
+            .iter()
+            .flat_map(|t| t.verts)
+            .collect();
+        let scale: f64 = res.iter().map(|x| x.abs()).fold(0.0, f64::max);
+        for v in 0..aos.n {
+            if !on_boundary.contains(&(v as u32)) {
+                for c in 0..4 {
+                    assert!(
+                        res[v * 4 + c].abs() < 1e-12 * scale.max(1.0),
+                        "interior vertex {v} comp {c}: {}",
+                        res[v * 4 + c]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn replication_overhead_shows_in_plan_not_result() {
+        // Natural partitioning has high replication but identical output.
+        let (geom, aos, _) = setup();
+        let nt = 6;
+        let nat = OwnerWritesPlan::build(&geom.edges, &natural_partition(aos.n, nt), nt);
+        assert!(nat.replication_overhead() > 0.0);
+        let r1 = run_serial(&geom, &aos);
+        let pool = ThreadPool::new(nt);
+        let mut r2 = vec![0.0; aos.n * 4];
+        owner_writes(&pool, &nat, &geom, &aos, 1.0, &mut r2);
+        assert_eq!(r1, r2);
+    }
+}

@@ -1,0 +1,174 @@
+//! FDR InfiniBand fat-tree network model.
+//!
+//! A latency/bandwidth (LogGP-flavoured) model of Stampede's fabric:
+//! Mellanox FDR (56 Gb/s ≈ 6.8 GB/s per port) in a 2-level fat tree.
+//! Collectives use log-tree algorithms, so an `MPI_Allreduce` of the
+//! small messages a Krylov solver sends (one or a few doubles) costs
+//! `2·⌈log₂P⌉` latency terms — exactly the term that grows with scale
+//! and makes Mesh-D communication-bound at 256 nodes (Fig. 10).
+
+/// Network parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct NetworkSpec {
+    /// One-way small-message latency within a leaf switch, microseconds.
+    pub latency_us: f64,
+    /// Extra per-hop latency when crossing to the spine, microseconds.
+    pub hop_us: f64,
+    /// Per-port bandwidth, GB/s.
+    pub bw_gbs: f64,
+    /// Nodes per leaf switch (Stampede: 20 per leaf).
+    pub nodes_per_leaf: usize,
+    /// MPI software overhead per message, microseconds.
+    pub overhead_us: f64,
+    /// OS-noise straggling per collective participant level,
+    /// microseconds: the expected extra wait a collective suffers grows
+    /// ~logarithmically with participants (noise amplification at
+    /// synchronization points). Calibrated so Mesh-D turns
+    /// communication-bound at 256 nodes as the paper reports.
+    pub noise_us: f64,
+}
+
+impl NetworkSpec {
+    /// Stampede's FDR InfiniBand 2-level fat tree.
+    pub fn stampede_fdr() -> NetworkSpec {
+        NetworkSpec {
+            latency_us: 1.1,
+            hop_us: 0.5,
+            bw_gbs: 6.8,
+            nodes_per_leaf: 20,
+            overhead_us: 0.4,
+            noise_us: 1000.0,
+        }
+    }
+
+    /// Expected straggler wait per collective spanning `nnodes` nodes:
+    /// `noise_us` at 256 nodes, shrinking as `N^0.75` below that. OS
+    /// noise is a *per-node* phenomenon — the slowest node governs every
+    /// collective regardless of how many ranks each node hosts — so the
+    /// hybrid configuration does not escape it by using fewer ranks.
+    pub fn noise_wait(&self, nnodes: usize) -> f64 {
+        if nnodes <= 1 {
+            0.0
+        } else {
+            self.noise_us * 1e-6 * (nnodes as f64 / 256.0).powf(0.75)
+        }
+    }
+
+    /// Effective one-way latency between two ranks `nodes` apart
+    /// (0 = same node → shared-memory transport).
+    pub fn point_latency_us(&self, same_node: bool, same_leaf: bool) -> f64 {
+        if same_node {
+            0.3 // shared-memory MPI transport
+        } else if same_leaf {
+            self.latency_us + self.overhead_us
+        } else {
+            self.latency_us + 2.0 * self.hop_us + self.overhead_us
+        }
+    }
+
+    /// Seconds for a point-to-point message of `bytes` crossing the
+    /// given distance class.
+    pub fn p2p_time(&self, bytes: f64, same_node: bool, same_leaf: bool) -> f64 {
+        self.point_latency_us(same_node, same_leaf) * 1e-6 + bytes / (self.bw_gbs * 1e9)
+    }
+
+    /// Seconds for an allreduce over `nranks` ranks spread over `nnodes`
+    /// nodes, message of `bytes`. Log-tree: `2⌈log₂(nranks)⌉` phases;
+    /// phases that cross nodes pay network latency, in-node phases pay
+    /// the shared-memory latency.
+    pub fn allreduce_time(&self, nranks: usize, nnodes: usize, bytes: f64) -> f64 {
+        if nranks <= 1 {
+            return 0.0;
+        }
+        let phases = 2.0 * (nranks as f64).log2().ceil();
+        let cross_phases = 2.0 * (nnodes.max(1) as f64).log2().ceil();
+        let in_node_phases = (phases - cross_phases).max(0.0);
+        let cross_leaf = nnodes > self.nodes_per_leaf;
+        let cross_lat = self.point_latency_us(false, !cross_leaf) * 1e-6;
+        let local_lat = self.point_latency_us(true, true) * 1e-6;
+        let per_phase_bytes = bytes / (self.bw_gbs * 1e9);
+        cross_phases * (cross_lat + per_phase_bytes) + in_node_phases * (local_lat + per_phase_bytes)
+    }
+
+    /// Seconds for a halo exchange: each rank sends `neighbor_bytes` to
+    /// each of `nneighbors` neighbors; sends overlap, so the cost is the
+    /// max single-port serialization plus one latency.
+    pub fn halo_time(&self, nneighbors: usize, neighbor_bytes: f64, same_node: bool) -> f64 {
+        if nneighbors == 0 {
+            return 0.0;
+        }
+        let lat = self.point_latency_us(same_node, true) * 1e-6;
+        lat + nneighbors as f64 * neighbor_bytes / (self.bw_gbs * 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn net() -> NetworkSpec {
+        NetworkSpec::stampede_fdr()
+    }
+
+    #[test]
+    fn allreduce_grows_logarithmically() {
+        let n = net();
+        let t16 = n.allreduce_time(16 * 16, 16, 8.0);
+        let t256 = n.allreduce_time(256 * 16, 256, 8.0);
+        assert!(t256 > t16);
+        // ratio should be ~log-ish, not linear
+        assert!(t256 / t16 < 4.0, "ratio {}", t256 / t16);
+    }
+
+    #[test]
+    fn small_allreduce_latency_bound() {
+        let n = net();
+        let t8 = n.allreduce_time(4096, 256, 8.0);
+        let t80 = n.allreduce_time(4096, 256, 80.0);
+        // 10x the bytes, nearly identical time at these sizes
+        assert!(t80 < 1.2 * t8);
+    }
+
+    #[test]
+    fn p2p_distance_classes_ordered() {
+        let n = net();
+        let same_node = n.p2p_time(1e4, true, true);
+        let same_leaf = n.p2p_time(1e4, false, true);
+        let cross = n.p2p_time(1e4, false, false);
+        assert!(same_node < same_leaf);
+        assert!(same_leaf < cross);
+    }
+
+    #[test]
+    fn halo_scales_with_neighbors_and_bytes() {
+        let n = net();
+        let t1 = n.halo_time(4, 1e4, false);
+        let t2 = n.halo_time(8, 1e4, false);
+        assert!(t2 > t1);
+        assert_eq!(n.halo_time(0, 1e6, false), 0.0);
+    }
+
+    #[test]
+    fn single_rank_allreduce_is_free() {
+        assert_eq!(net().allreduce_time(1, 1, 8.0), 0.0);
+    }
+
+    #[test]
+    fn noise_wait_monotone_in_nodes() {
+        let n = net();
+        assert_eq!(n.noise_wait(1), 0.0);
+        assert!(n.noise_wait(16) < n.noise_wait(64));
+        assert!(n.noise_wait(64) < n.noise_wait(256));
+        // calibration anchor: noise_us microseconds at 256 nodes
+        assert!((n.noise_wait(256) - n.noise_us * 1e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn large_message_bandwidth_bound() {
+        let n = net();
+        let bytes = 1e8;
+        let t = n.p2p_time(bytes, false, false);
+        let bw_time = bytes / (n.bw_gbs * 1e9);
+        assert!((t - bw_time) / bw_time < 0.01);
+    }
+}

@@ -1,0 +1,287 @@
+//! Plain-text mesh file I/O.
+//!
+//! A minimal, self-describing format so externally generated meshes can
+//! be fed to the solver (and our synthetic meshes can be exported for
+//! inspection). Line-oriented, whitespace-separated:
+//!
+//! ```text
+//! fun3d-rs-mesh 1
+//! vertices <n>
+//! <x> <y> <z>            # n lines
+//! tets <m>
+//! <a> <b> <c> <d>        # m lines
+//! boundary <k>
+//! <a> <b> <c> <tag>      # k lines; tag ∈ {farfield, slipwall, symmetry}
+//! ```
+
+use crate::{BcTag, BoundaryTri, Mesh, Vec3};
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Errors from reading a mesh file.
+#[derive(Debug)]
+pub enum MeshIoError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Structural or numeric problem, with a line number (1-based).
+    Parse(usize, String),
+}
+
+impl std::fmt::Display for MeshIoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MeshIoError::Io(e) => write!(f, "mesh io: {e}"),
+            MeshIoError::Parse(line, msg) => write!(f, "mesh parse (line {line}): {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for MeshIoError {}
+
+impl From<std::io::Error> for MeshIoError {
+    fn from(e: std::io::Error) -> Self {
+        MeshIoError::Io(e)
+    }
+}
+
+fn tag_name(tag: BcTag) -> &'static str {
+    match tag {
+        BcTag::FarField => "farfield",
+        BcTag::SlipWall => "slipwall",
+        BcTag::Symmetry => "symmetry",
+    }
+}
+
+fn parse_tag(s: &str, line: usize) -> Result<BcTag, MeshIoError> {
+    match s {
+        "farfield" => Ok(BcTag::FarField),
+        "slipwall" => Ok(BcTag::SlipWall),
+        "symmetry" => Ok(BcTag::Symmetry),
+        other => Err(MeshIoError::Parse(line, format!("unknown tag '{other}'"))),
+    }
+}
+
+/// Writes a mesh to any writer.
+pub fn write_mesh<W: Write>(mesh: &Mesh, w: W) -> std::io::Result<()> {
+    let mut w = BufWriter::new(w);
+    writeln!(w, "fun3d-rs-mesh 1")?;
+    writeln!(w, "vertices {}", mesh.nvertices())?;
+    for c in &mesh.coords {
+        writeln!(w, "{:.17e} {:.17e} {:.17e}", c.x, c.y, c.z)?;
+    }
+    writeln!(w, "tets {}", mesh.ntets())?;
+    for t in &mesh.tets {
+        writeln!(w, "{} {} {} {}", t[0], t[1], t[2], t[3])?;
+    }
+    writeln!(w, "boundary {}", mesh.boundary.len())?;
+    for b in &mesh.boundary {
+        writeln!(
+            w,
+            "{} {} {} {}",
+            b.verts[0],
+            b.verts[1],
+            b.verts[2],
+            tag_name(b.tag)
+        )?;
+    }
+    w.flush()
+}
+
+/// Writes a mesh to a file path.
+pub fn save(mesh: &Mesh, path: &Path) -> std::io::Result<()> {
+    write_mesh(mesh, std::fs::File::create(path)?)
+}
+
+/// Reads a mesh from any reader.
+pub fn read_mesh<R: Read>(r: R) -> Result<Mesh, MeshIoError> {
+    let reader = BufReader::new(r);
+    let mut lines = reader.lines().enumerate();
+    let mut next = |what: &str| -> Result<(usize, String), MeshIoError> {
+        loop {
+            match lines.next() {
+                None => {
+                    return Err(MeshIoError::Parse(0, format!("unexpected EOF expecting {what}")))
+                }
+                Some((i, line)) => {
+                    let line = line?;
+                    let trimmed = line.split('#').next().unwrap_or("").trim().to_string();
+                    if !trimmed.is_empty() {
+                        return Ok((i + 1, trimmed));
+                    }
+                }
+            }
+        }
+    };
+
+    let (ln, header) = next("header")?;
+    if header != "fun3d-rs-mesh 1" {
+        return Err(MeshIoError::Parse(ln, format!("bad header '{header}'")));
+    }
+
+    let parse_count = |ln: usize, line: &str, kw: &str| -> Result<usize, MeshIoError> {
+        let mut it = line.split_whitespace();
+        match (it.next(), it.next()) {
+            (Some(k), Some(n)) if k == kw => n
+                .parse()
+                .map_err(|e| MeshIoError::Parse(ln, format!("bad count: {e}"))),
+            _ => Err(MeshIoError::Parse(ln, format!("expected '{kw} <n>'"))),
+        }
+    };
+
+    let (ln, line) = next("vertices")?;
+    let nv = parse_count(ln, &line, "vertices")?;
+    let mut coords = Vec::with_capacity(nv);
+    for _ in 0..nv {
+        let (ln, line) = next("vertex coordinates")?;
+        let xs: Result<Vec<f64>, _> = line.split_whitespace().map(str::parse).collect();
+        let xs = xs.map_err(|e| MeshIoError::Parse(ln, format!("bad coordinate: {e}")))?;
+        if xs.len() != 3 {
+            return Err(MeshIoError::Parse(ln, "need 3 coordinates".into()));
+        }
+        coords.push(Vec3::new(xs[0], xs[1], xs[2]));
+    }
+
+    let (ln, line) = next("tets")?;
+    let nt = parse_count(ln, &line, "tets")?;
+    let mut tets = Vec::with_capacity(nt);
+    for _ in 0..nt {
+        let (ln, line) = next("tet vertices")?;
+        let vs: Result<Vec<u32>, _> = line.split_whitespace().map(str::parse).collect();
+        let vs = vs.map_err(|e| MeshIoError::Parse(ln, format!("bad tet index: {e}")))?;
+        if vs.len() != 4 {
+            return Err(MeshIoError::Parse(ln, "need 4 vertex indices".into()));
+        }
+        for &v in &vs {
+            if v as usize >= nv {
+                return Err(MeshIoError::Parse(ln, format!("tet index {v} out of range")));
+            }
+        }
+        tets.push([vs[0], vs[1], vs[2], vs[3]]);
+    }
+
+    let (ln, line) = next("boundary")?;
+    let nb = parse_count(ln, &line, "boundary")?;
+    let mut boundary = Vec::with_capacity(nb);
+    for _ in 0..nb {
+        let (ln, line) = next("boundary triangle")?;
+        let parts: Vec<&str> = line.split_whitespace().collect();
+        if parts.len() != 4 {
+            return Err(MeshIoError::Parse(ln, "need 3 indices + tag".into()));
+        }
+        let mut verts = [0u32; 3];
+        for (slot, p) in verts.iter_mut().zip(&parts[..3]) {
+            *slot = p
+                .parse()
+                .map_err(|e| MeshIoError::Parse(ln, format!("bad index: {e}")))?;
+            if *slot as usize >= nv {
+                return Err(MeshIoError::Parse(ln, format!("boundary index {slot} out of range")));
+            }
+        }
+        boundary.push(BoundaryTri {
+            verts,
+            tag: parse_tag(parts[3], ln)?,
+        });
+    }
+
+    Ok(Mesh {
+        coords,
+        tets,
+        boundary,
+    })
+}
+
+/// Reads a mesh from a file path.
+pub fn load(path: &Path) -> Result<Mesh, MeshIoError> {
+    read_mesh(std::fs::File::open(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::MeshPreset;
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let mesh = MeshPreset::Tiny.build();
+        let mut buf = Vec::new();
+        write_mesh(&mesh, &mut buf).unwrap();
+        let back = read_mesh(buf.as_slice()).unwrap();
+        assert_eq!(mesh.nvertices(), back.nvertices());
+        assert_eq!(mesh.tets, back.tets);
+        assert_eq!(mesh.boundary.len(), back.boundary.len());
+        for (a, b) in mesh.boundary.iter().zip(&back.boundary) {
+            assert_eq!(a.verts, b.verts);
+            assert_eq!(a.tag, b.tag);
+        }
+        for (a, b) in mesh.coords.iter().zip(&back.coords) {
+            assert_eq!(a, b, "coordinates must roundtrip bitwise (%.17e)");
+        }
+    }
+
+    #[test]
+    fn roundtrip_through_file() {
+        let mesh = MeshPreset::Tiny.build();
+        let path = std::env::temp_dir().join("fun3d_mesh_io_test.msh");
+        save(&mesh, &path).unwrap();
+        let back = load(&path).unwrap();
+        assert_eq!(mesh.tets, back.tets);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_tolerated() {
+        let text = "\
+# a comment
+fun3d-rs-mesh 1
+
+vertices 4
+0 0 0
+1 0 0   # inline comment
+0 1 0
+0 0 1
+tets 1
+0 1 2 3
+boundary 1
+0 2 1 slipwall
+";
+        let mesh = read_mesh(text.as_bytes()).unwrap();
+        assert_eq!(mesh.nvertices(), 4);
+        assert_eq!(mesh.ntets(), 1);
+        assert_eq!(mesh.boundary[0].tag, BcTag::SlipWall);
+    }
+
+    #[test]
+    fn bad_header_rejected() {
+        let e = read_mesh("not-a-mesh\n".as_bytes()).unwrap_err();
+        assert!(matches!(e, MeshIoError::Parse(1, _)), "{e}");
+    }
+
+    #[test]
+    fn out_of_range_index_rejected() {
+        let text = "fun3d-rs-mesh 1\nvertices 2\n0 0 0\n1 1 1\ntets 1\n0 1 2 3\n";
+        let e = read_mesh(text.as_bytes()).unwrap_err();
+        assert!(e.to_string().contains("out of range"), "{e}");
+    }
+
+    #[test]
+    fn unknown_tag_rejected() {
+        let text = "fun3d-rs-mesh 1\nvertices 3\n0 0 0\n1 0 0\n0 1 0\ntets 0\nboundary 1\n0 1 2 viscous\n";
+        let e = read_mesh(text.as_bytes()).unwrap_err();
+        assert!(e.to_string().contains("unknown tag"), "{e}");
+    }
+
+    #[test]
+    fn loaded_mesh_is_solvable() {
+        // The imported mesh must drive the dual metrics like the original.
+        let mesh = MeshPreset::Tiny.build();
+        let mut buf = Vec::new();
+        write_mesh(&mesh, &mut buf).unwrap();
+        let back = read_mesh(buf.as_slice()).unwrap();
+        let d1 = crate::DualMesh::build(&mesh);
+        let d2 = crate::DualMesh::build(&back);
+        assert_eq!(d1.nedges(), d2.nedges());
+        for (a, b) in d1.vol.iter().zip(&d2.vol) {
+            assert_eq!(a, b);
+        }
+    }
+}

@@ -1,0 +1,211 @@
+//! Tetrahedral, vertex-centered unstructured meshes.
+//!
+//! FUN3D (Anderson & Bonhaus) is a tetrahedral vertex-centered code: the
+//! unknowns live at mesh vertices, and the control volumes are the cells
+//! of the **median dual** — each vertex's volume is bounded by pieces of
+//! the surfaces that bisect the edges of its incident tetrahedra. Fluxes
+//! are exchanged *per edge*, through the dual face associated with that
+//! edge, which is why the hot loops of the application are edge-based.
+//!
+//! The paper's meshes (ONERA M6 wing, "Mesh-C" with 3.58e5 vertices /
+//! 2.40e6 edges and "Mesh-D" with 2.76e6 / 1.89e7) are not publicly
+//! available, so [`generator`] synthesizes an equivalent workload: a
+//! channel with a swept, tapered wing-shaped bump, meshed with a
+//! structured curvilinear hex grid split into tetrahedra (Kuhn
+//! subdivision, which tiles conformingly), vertices jittered and then
+//! randomly permuted so all structure must be rediscovered by reordering
+//! — the same path a genuinely unstructured mesh takes. The resulting
+//! edge-per-vertex ratio (~6.7) matches the paper's meshes.
+//!
+//! [`dual`] computes the median-dual metrics (edge dual-face area vectors,
+//! vertex dual volumes, boundary vertex normals) and the discrete closure
+//! identities the flux discretization relies on. [`reorder`] implements
+//! Reverse Cuthill-McKee and the edge sorting the paper applies for
+//! locality.
+
+pub mod dual;
+pub mod generator;
+pub mod graph;
+pub mod io;
+pub mod reorder;
+pub mod stats;
+pub mod vec3;
+
+pub use dual::DualMesh;
+pub use generator::{ChannelSpec, MeshPreset};
+pub use graph::Graph;
+pub use vec3::Vec3;
+
+/// Boundary-condition tag for a boundary face.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum BcTag {
+    /// Characteristic far-field (inflow/outflow) boundary.
+    FarField,
+    /// Inviscid slip wall (the wing surface / channel floor).
+    SlipWall,
+    /// Symmetry plane (treated identically to a slip wall for Euler).
+    Symmetry,
+}
+
+/// A boundary triangle with its tag. Vertices are ordered so the triangle
+/// normal points *out* of the domain.
+#[derive(Clone, Copy, Debug)]
+pub struct BoundaryTri {
+    /// The three vertex indices, outward-wound.
+    pub verts: [u32; 3],
+    /// The kind of boundary this face belongs to.
+    pub tag: BcTag,
+}
+
+/// A tetrahedral mesh: vertex coordinates, positively-oriented tets, and
+/// tagged boundary triangles.
+#[derive(Clone, Debug)]
+pub struct Mesh {
+    /// Vertex coordinates.
+    pub coords: Vec<Vec3>,
+    /// Tetrahedra as vertex quadruples, oriented with positive volume.
+    pub tets: Vec<[u32; 4]>,
+    /// Boundary triangles, outward-wound, with BC tags.
+    pub boundary: Vec<BoundaryTri>,
+}
+
+impl Mesh {
+    /// Number of vertices.
+    pub fn nvertices(&self) -> usize {
+        self.coords.len()
+    }
+
+    /// Number of tetrahedra.
+    pub fn ntets(&self) -> usize {
+        self.tets.len()
+    }
+
+    /// Extracts the unique undirected edge list, each edge stored as
+    /// `[lo, hi]` with `lo < hi`, sorted lexicographically — the paper's
+    /// "vertices at one end of each edge are sorted in an increasing
+    /// order" normalization.
+    pub fn edges(&self) -> Vec<[u32; 2]> {
+        let mut edges: Vec<[u32; 2]> = Vec::with_capacity(self.tets.len() * 6);
+        for t in &self.tets {
+            for (a, b) in [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)] {
+                let (u, v) = (t[a], t[b]);
+                edges.push(if u < v { [u, v] } else { [v, u] });
+            }
+        }
+        edges.sort_unstable();
+        edges.dedup();
+        edges
+    }
+
+    /// Builds the vertex adjacency graph from the edge list.
+    pub fn vertex_graph(&self) -> Graph {
+        Graph::from_edges(self.nvertices(), &self.edges())
+    }
+
+    /// Applies a vertex renumbering: vertex `v` becomes `perm[v]`.
+    /// Tets and boundary faces are rewritten; coordinates are moved.
+    pub fn renumber(&mut self, perm: &[usize]) {
+        assert_eq!(perm.len(), self.nvertices());
+        let mut coords = vec![Vec3::ZERO; self.coords.len()];
+        for (old, &new) in perm.iter().enumerate() {
+            coords[new] = self.coords[old];
+        }
+        self.coords = coords;
+        for t in &mut self.tets {
+            for v in t.iter_mut() {
+                *v = perm[*v as usize] as u32;
+            }
+        }
+        for b in &mut self.boundary {
+            for v in b.verts.iter_mut() {
+                *v = perm[*v as usize] as u32;
+            }
+        }
+    }
+
+    /// Total volume of all tets (= volume of the meshed domain).
+    pub fn total_volume(&self) -> f64 {
+        self.tets
+            .iter()
+            .map(|t| {
+                dual::tet_volume(
+                    self.coords[t[0] as usize],
+                    self.coords[t[1] as usize],
+                    self.coords[t[2] as usize],
+                    self.coords[t[3] as usize],
+                )
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+pub(crate) fn single_tet() -> Mesh {
+    let coords = vec![
+        Vec3::new(0.0, 0.0, 0.0),
+        Vec3::new(1.0, 0.0, 0.0),
+        Vec3::new(0.0, 1.0, 0.0),
+        Vec3::new(0.0, 0.0, 1.0),
+    ];
+    // Outward-wound boundary faces of the positively-oriented tet.
+    let boundary = vec![
+        BoundaryTri { verts: [0, 2, 1], tag: BcTag::SlipWall },
+        BoundaryTri { verts: [0, 1, 3], tag: BcTag::SlipWall },
+        BoundaryTri { verts: [0, 3, 2], tag: BcTag::SlipWall },
+        BoundaryTri { verts: [1, 2, 3], tag: BcTag::SlipWall },
+    ];
+    Mesh {
+        coords,
+        tets: vec![[0, 1, 2, 3]],
+        boundary,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_tet_edges() {
+        let m = single_tet();
+        let e = m.edges();
+        assert_eq!(e.len(), 6);
+        assert_eq!(e[0], [0, 1]);
+        assert!(e.windows(2).all(|w| w[0] < w[1]), "sorted and unique");
+    }
+
+    #[test]
+    fn edges_deduplicated_between_tets() {
+        // Two tets sharing face (1,2,3): edges of the shared face counted once.
+        let coords = vec![
+            Vec3::new(0.0, 0.0, 0.0),
+            Vec3::new(1.0, 0.0, 0.0),
+            Vec3::new(0.0, 1.0, 0.0),
+            Vec3::new(0.0, 0.0, 1.0),
+            Vec3::new(1.0, 1.0, 1.0),
+        ];
+        let m = Mesh {
+            coords,
+            tets: vec![[0, 1, 2, 3], [4, 1, 3, 2]],
+            boundary: vec![],
+        };
+        // 6 + 6 - 3 shared = 9 unique edges
+        assert_eq!(m.edges().len(), 9);
+    }
+
+    #[test]
+    fn renumber_is_consistent() {
+        let mut m = single_tet();
+        let before_vol = m.total_volume();
+        m.renumber(&[3, 2, 1, 0]);
+        assert!((m.total_volume() - before_vol).abs() < 1e-14);
+        assert_eq!(m.coords[3], Vec3::new(0.0, 0.0, 0.0));
+        assert_eq!(m.edges().len(), 6);
+    }
+
+    #[test]
+    fn total_volume_of_reference_tet() {
+        let m = single_tet();
+        assert!((m.total_volume() - 1.0 / 6.0).abs() < 1e-14);
+    }
+}

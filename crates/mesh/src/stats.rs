@@ -1,0 +1,82 @@
+//! Mesh statistics, mirroring the quantities the paper's Table I reports.
+
+use crate::{Graph, Mesh};
+
+/// Headline statistics of a mesh.
+#[derive(Clone, Copy, Debug)]
+pub struct MeshStats {
+    /// Number of vertices.
+    pub nvertices: usize,
+    /// Number of unique edges.
+    pub nedges: usize,
+    /// Number of tetrahedra.
+    pub ntets: usize,
+    /// Number of boundary triangles.
+    pub nboundary: usize,
+    /// Average vertex degree (2·edges / vertices).
+    pub avg_degree: f64,
+    /// Maximum vertex degree.
+    pub max_degree: usize,
+    /// Graph bandwidth of the current numbering.
+    pub bandwidth: usize,
+}
+
+impl MeshStats {
+    /// Computes statistics for a mesh.
+    pub fn of(mesh: &Mesh) -> MeshStats {
+        let edges = mesh.edges();
+        let graph = Graph::from_edges(mesh.nvertices(), &edges);
+        MeshStats {
+            nvertices: mesh.nvertices(),
+            nedges: edges.len(),
+            ntets: mesh.ntets(),
+            nboundary: mesh.boundary.len(),
+            avg_degree: 2.0 * edges.len() as f64 / mesh.nvertices().max(1) as f64,
+            max_degree: graph.max_degree(),
+            bandwidth: graph.bandwidth(),
+        }
+    }
+}
+
+impl std::fmt::Display for MeshStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "vertices={} edges={} tets={} boundary-tris={} avg-deg={:.2} max-deg={} bandwidth={}",
+            self.nvertices,
+            self.nedges,
+            self.ntets,
+            self.nboundary,
+            self.avg_degree,
+            self.max_degree,
+            self.bandwidth
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::MeshPreset;
+
+    #[test]
+    fn stats_of_tiny_mesh() {
+        let m = MeshPreset::Tiny.build();
+        let s = MeshStats::of(&m);
+        assert_eq!(s.nvertices, m.nvertices());
+        assert_eq!(s.ntets, m.ntets());
+        assert!(s.nedges > s.nvertices);
+        assert!(s.avg_degree > 5.0 && s.avg_degree < 15.0);
+        assert!(s.max_degree >= 14, "Kuhn interior degree is 14");
+        assert!(s.nboundary > 0);
+    }
+
+    #[test]
+    fn display_mentions_all_fields() {
+        let m = MeshPreset::Tiny.build();
+        let text = MeshStats::of(&m).to_string();
+        for key in ["vertices=", "edges=", "tets=", "bandwidth="] {
+            assert!(text.contains(key), "missing {key} in {text}");
+        }
+    }
+}

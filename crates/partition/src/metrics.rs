@@ -1,0 +1,85 @@
+//! Partition quality metrics: edge cut and balance.
+
+use crate::Partition;
+
+/// Number of edges whose endpoints lie in different parts.
+pub fn cut_edges(edges: &[[u32; 2]], part: &Partition) -> usize {
+    edges
+        .iter()
+        .filter(|e| part[e[0] as usize] != part[e[1] as usize])
+        .count()
+}
+
+/// Load imbalance of the vertex counts: `max_part_size / ideal` (1.0 is
+/// perfect). Empty parts count as size 0.
+pub fn imbalance(part: &Partition, nparts: usize) -> f64 {
+    if part.is_empty() {
+        return 1.0;
+    }
+    let mut sizes = vec![0usize; nparts];
+    for &p in part.iter() {
+        sizes[p as usize] += 1;
+    }
+    let ideal = part.len() as f64 / nparts as f64;
+    *sizes.iter().max().unwrap() as f64 / ideal
+}
+
+/// Combined quality report for a partition.
+#[derive(Clone, Copy, Debug)]
+pub struct PartitionQuality {
+    /// Parts requested.
+    pub nparts: usize,
+    /// Edges cut by the partition.
+    pub cut: usize,
+    /// Fraction of all edges cut.
+    pub cut_fraction: f64,
+    /// Vertex-count imbalance (1.0 = perfect).
+    pub imbalance: f64,
+}
+
+impl PartitionQuality {
+    /// Evaluates a partition against its edge list.
+    pub fn of(edges: &[[u32; 2]], part: &Partition, nparts: usize) -> Self {
+        let cut = cut_edges(edges, part);
+        PartitionQuality {
+            nparts,
+            cut,
+            cut_fraction: cut as f64 / edges.len().max(1) as f64,
+            imbalance: imbalance(part, nparts),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cut_counts_cross_edges() {
+        let edges = [[0u32, 1], [1, 2], [2, 3]];
+        let part = vec![0, 0, 1, 1];
+        assert_eq!(cut_edges(&edges, &part), 1);
+    }
+
+    #[test]
+    fn imbalance_perfect_and_skewed() {
+        assert!((imbalance(&vec![0, 0, 1, 1], 2) - 1.0).abs() < 1e-12);
+        assert!((imbalance(&vec![0, 0, 0, 1], 2) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quality_report() {
+        let edges = [[0u32, 1], [1, 2], [2, 3], [3, 0]];
+        let part = vec![0, 0, 1, 1];
+        let q = PartitionQuality::of(&edges, &part, 2);
+        assert_eq!(q.cut, 2);
+        assert!((q.cut_fraction - 0.5).abs() < 1e-12);
+        assert!((q.imbalance - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_partition() {
+        assert_eq!(imbalance(&vec![], 4), 1.0);
+        assert_eq!(cut_edges(&[], &vec![]), 0);
+    }
+}

@@ -1,0 +1,512 @@
+//! Multilevel k-way graph partitioning by recursive bisection.
+//!
+//! The same algorithm family as METIS (Karypis & Kumar [21]):
+//!
+//! 1. **Coarsening** — heavy-edge matching collapses matched vertex pairs,
+//!    accumulating vertex and edge weights, until the graph is small;
+//! 2. **Initial bisection** — greedy graph growing (BFS region growing
+//!    from several random seeds, keeping the best) splits the coarsest
+//!    graph near the target weights;
+//! 3. **Refinement** — a Fiduccia–Mattheyses pass with rollback moves
+//!    boundary vertices to reduce the cut while respecting a balance
+//!    tolerance, applied at every level on the way back up;
+//! 4. **Recursion** — each side is extracted as an induced subgraph and
+//!    bisected again until `nparts` parts exist (non-powers of two are
+//!    handled by splitting proportionally).
+
+use crate::Partition;
+use fun3d_mesh::Graph;
+use fun3d_util::Rng64;
+
+/// Tuning knobs for the multilevel partitioner.
+#[derive(Clone, Copy, Debug)]
+pub struct MultilevelConfig {
+    /// Stop coarsening below this many vertices.
+    pub coarsest: usize,
+    /// FM passes per level.
+    pub fm_passes: usize,
+    /// Allowed imbalance of a bisection: a side may exceed its target
+    /// weight by this factor.
+    pub balance_tol: f64,
+    /// Number of random greedy-growing attempts for the initial bisection.
+    pub init_tries: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for MultilevelConfig {
+    fn default() -> Self {
+        MultilevelConfig {
+            coarsest: 48,
+            fm_passes: 4,
+            balance_tol: 1.03,
+            init_tries: 4,
+            seed: 0x4D45_5449,
+        }
+    }
+}
+
+/// Partitions `graph` into `nparts` parts. Returns `part[v] ∈ 0..nparts`.
+pub fn partition_graph(graph: &Graph, nparts: usize, cfg: &MultilevelConfig) -> Partition {
+    assert!(nparts >= 1);
+    let n = graph.nvertices();
+    let mut part = vec![0u32; n];
+    if nparts == 1 || n == 0 {
+        return part;
+    }
+    let wg = WGraph {
+        xadj: graph.xadj.clone(),
+        adj: graph.adj.clone(),
+        ewgt: vec![1; graph.adj.len()],
+        vwgt: vec![1; n],
+    };
+    let vertices: Vec<u32> = (0..n as u32).collect();
+    let mut rng = Rng64::new(cfg.seed);
+    recurse(&wg, &vertices, nparts, 0, &mut part, cfg, &mut rng);
+    part
+}
+
+/// Weighted CSR graph used internally across coarsening levels.
+struct WGraph {
+    xadj: Vec<usize>,
+    adj: Vec<u32>,
+    ewgt: Vec<u64>,
+    vwgt: Vec<u64>,
+}
+
+impl WGraph {
+    fn n(&self) -> usize {
+        self.vwgt.len()
+    }
+
+    fn total_vwgt(&self) -> u64 {
+        self.vwgt.iter().sum()
+    }
+
+    fn neighbors(&self, v: usize) -> impl Iterator<Item = (u32, u64)> + '_ {
+        self.adj[self.xadj[v]..self.xadj[v + 1]]
+            .iter()
+            .copied()
+            .zip(self.ewgt[self.xadj[v]..self.xadj[v + 1]].iter().copied())
+    }
+}
+
+/// Recursive bisection: assigns parts `base..base+nparts` to `vertices`
+/// (ids in the *original* graph; `wg` is the induced subgraph with local
+/// ids aligned to `vertices`).
+fn recurse(
+    wg: &WGraph,
+    vertices: &[u32],
+    nparts: usize,
+    base: u32,
+    part: &mut Partition,
+    cfg: &MultilevelConfig,
+    rng: &mut Rng64,
+) {
+    if nparts == 1 {
+        for &v in vertices {
+            part[v as usize] = base;
+        }
+        return;
+    }
+    let left_parts = nparts / 2;
+    let right_parts = nparts - left_parts;
+    let frac = left_parts as f64 / nparts as f64;
+    let side = bisect(wg, frac, cfg, rng);
+
+    // Extract induced subgraphs for both sides.
+    let (lg, lverts) = induced(wg, vertices, &side, false);
+    let (rg, rverts) = induced(wg, vertices, &side, true);
+    recurse(&lg, &lverts, left_parts, base, part, cfg, rng);
+    recurse(&rg, &rverts, right_parts, base + left_parts as u32, part, cfg, rng);
+}
+
+/// Extracts the induced subgraph of the vertices with `side[v] == which`.
+/// Returns the subgraph and the original ids of its vertices.
+fn induced(wg: &WGraph, vertices: &[u32], side: &[bool], which: bool) -> (WGraph, Vec<u32>) {
+    let n = wg.n();
+    let mut local = vec![u32::MAX; n];
+    let mut orig = Vec::new();
+    for v in 0..n {
+        if side[v] == which {
+            local[v] = orig.len() as u32;
+            orig.push(vertices[v]);
+        }
+    }
+    let mut xadj = Vec::with_capacity(orig.len() + 1);
+    xadj.push(0usize);
+    let mut adj = Vec::new();
+    let mut ewgt = Vec::new();
+    let mut vwgt = Vec::with_capacity(orig.len());
+    for v in 0..n {
+        if side[v] != which {
+            continue;
+        }
+        for (u, w) in wg.neighbors(v) {
+            if side[u as usize] == which {
+                adj.push(local[u as usize]);
+                ewgt.push(w);
+            }
+        }
+        xadj.push(adj.len());
+        vwgt.push(wg.vwgt[v]);
+    }
+    (WGraph { xadj, adj, ewgt, vwgt }, orig)
+}
+
+/// Multilevel bisection of a weighted graph. Returns `side[v]` with
+/// `false` = left (target fraction `frac` of total weight).
+fn bisect(wg: &WGraph, frac: f64, cfg: &MultilevelConfig, rng: &mut Rng64) -> Vec<bool> {
+    if wg.n() <= cfg.coarsest.max(2) {
+        let mut side = initial_bisection(wg, frac, cfg, rng);
+        fm_refine(wg, &mut side, frac, cfg);
+        return side;
+    }
+    // Coarsen one level.
+    let (coarse, map) = coarsen(wg, rng);
+    // If matching stalled, bisect directly at this level.
+    if coarse.n() as f64 > 0.95 * wg.n() as f64 {
+        let mut side = initial_bisection(wg, frac, cfg, rng);
+        fm_refine(wg, &mut side, frac, cfg);
+        return side;
+    }
+    let coarse_side = bisect(&coarse, frac, cfg, rng);
+    // Project and refine.
+    let mut side: Vec<bool> = (0..wg.n()).map(|v| coarse_side[map[v] as usize]).collect();
+    fm_refine(wg, &mut side, frac, cfg);
+    side
+}
+
+/// Heavy-edge matching coarsening. Returns the coarse graph and the
+/// fine→coarse vertex map.
+fn coarsen(wg: &WGraph, rng: &mut Rng64) -> (WGraph, Vec<u32>) {
+    let n = wg.n();
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    rng.shuffle(&mut order);
+    let mut mate = vec![u32::MAX; n];
+    for &v in &order {
+        let v = v as usize;
+        if mate[v] != u32::MAX {
+            continue;
+        }
+        // heaviest unmatched neighbor
+        let mut best: Option<(u32, u64)> = None;
+        for (u, w) in wg.neighbors(v) {
+            if u as usize != v && mate[u as usize] == u32::MAX {
+                if best.map_or(true, |(_, bw)| w > bw) {
+                    best = Some((u, w));
+                }
+            }
+        }
+        match best {
+            Some((u, _)) => {
+                mate[v] = u;
+                mate[u as usize] = v as u32;
+            }
+            None => mate[v] = v as u32, // stays single
+        }
+    }
+    // Assign coarse ids (pair gets one id).
+    let mut map = vec![u32::MAX; n];
+    let mut nc = 0u32;
+    for v in 0..n {
+        if map[v] != u32::MAX {
+            continue;
+        }
+        let m = mate[v] as usize;
+        map[v] = nc;
+        map[m] = nc; // m == v for singles
+        nc += 1;
+    }
+    // Build coarse adjacency by aggregating fine edges.
+    let nc = nc as usize;
+    let mut agg: Vec<std::collections::HashMap<u32, u64>> =
+        vec![std::collections::HashMap::new(); nc];
+    let mut vwgt = vec![0u64; nc];
+    for v in 0..n {
+        let cv = map[v];
+        vwgt[cv as usize] += wg.vwgt[v];
+        for (u, w) in wg.neighbors(v) {
+            let cu = map[u as usize];
+            if cu != cv {
+                *agg[cv as usize].entry(cu).or_insert(0) += w;
+            }
+        }
+    }
+    // Note: vwgt accumulation counts each vertex once; pairs sum both.
+    // Edge weights were accumulated from both directions symmetrically.
+    let mut xadj = Vec::with_capacity(nc + 1);
+    xadj.push(0usize);
+    let mut adj = Vec::new();
+    let mut ewgt = Vec::new();
+    for cv in 0..nc {
+        let mut items: Vec<(u32, u64)> = agg[cv].iter().map(|(&u, &w)| (u, w)).collect();
+        items.sort_unstable();
+        for (u, w) in items {
+            adj.push(u);
+            ewgt.push(w);
+        }
+        xadj.push(adj.len());
+    }
+    (WGraph { xadj, adj, ewgt, vwgt }, map)
+}
+
+/// Greedy graph growing: BFS from a random seed accumulating weight until
+/// the left side reaches its target; repeated `init_tries` times, keeping
+/// the smallest cut.
+fn initial_bisection(wg: &WGraph, frac: f64, cfg: &MultilevelConfig, rng: &mut Rng64) -> Vec<bool> {
+    let n = wg.n();
+    let total = wg.total_vwgt();
+    let target_left = (total as f64 * frac).round() as u64;
+    let mut best: Option<(u64, Vec<bool>)> = None;
+    for _ in 0..cfg.init_tries.max(1) {
+        let seed = rng.below(n.max(1));
+        let mut side = vec![true; n]; // true = right
+        let mut weight_left = 0u64;
+        let mut queue = std::collections::VecDeque::new();
+        let mut seen = vec![false; n];
+        queue.push_back(seed as u32);
+        seen[seed] = true;
+        let mut next_unseen = 0usize;
+        while weight_left < target_left {
+            let v = match queue.pop_front() {
+                Some(v) => v,
+                None => {
+                    // disconnected: jump to the next unseen vertex
+                    while next_unseen < n && seen[next_unseen] {
+                        next_unseen += 1;
+                    }
+                    if next_unseen >= n {
+                        break;
+                    }
+                    seen[next_unseen] = true;
+                    next_unseen as u32
+                }
+            };
+            // Stop before overshooting badly.
+            if weight_left + wg.vwgt[v as usize] > target_left
+                && weight_left >= (target_left as f64 * 0.9) as u64
+            {
+                break;
+            }
+            side[v as usize] = false;
+            weight_left += wg.vwgt[v as usize];
+            for (u, _) in wg.neighbors(v as usize) {
+                if !seen[u as usize] {
+                    seen[u as usize] = true;
+                    queue.push_back(u);
+                }
+            }
+        }
+        let cut = cut_weight(wg, &side);
+        if best.as_ref().map_or(true, |(bc, _)| cut < *bc) {
+            best = Some((cut, side));
+        }
+    }
+    best.unwrap().1
+}
+
+fn cut_weight(wg: &WGraph, side: &[bool]) -> u64 {
+    let mut cut = 0u64;
+    for v in 0..wg.n() {
+        for (u, w) in wg.neighbors(v) {
+            if (u as usize) > v && side[u as usize] != side[v] {
+                cut += w;
+            }
+        }
+    }
+    cut
+}
+
+/// Fiduccia–Mattheyses refinement with rollback: repeatedly move the
+/// best-gain movable boundary vertex (balance permitting), lock it, and at
+/// the end of the pass keep the best prefix of moves.
+fn fm_refine(wg: &WGraph, side: &mut [bool], frac: f64, cfg: &MultilevelConfig) {
+    let n = wg.n();
+    let total = wg.total_vwgt() as f64;
+    let target_left = total * frac;
+    let max_left = (target_left * cfg.balance_tol) as u64;
+    let min_left = (target_left * (2.0 - cfg.balance_tol)) as u64;
+
+    for _pass in 0..cfg.fm_passes {
+        let mut weight_left: u64 = (0..n).filter(|&v| !side[v]).map(|v| wg.vwgt[v]).sum();
+        // gain[v] = cut reduction if v switches sides
+        let gain = |v: usize, side: &[bool]| -> i64 {
+            let mut g = 0i64;
+            for (u, w) in wg.neighbors(v) {
+                if side[u as usize] != side[v] {
+                    g += w as i64;
+                } else {
+                    g -= w as i64;
+                }
+            }
+            g
+        };
+        let mut locked = vec![false; n];
+        // max-heap of (gain, v); lazily invalidated
+        let mut heap: std::collections::BinaryHeap<(i64, u32)> = (0..n)
+            .filter(|&v| is_boundary(wg, side, v))
+            .map(|v| (gain(v, side), v as u32))
+            .collect();
+        let mut moves: Vec<u32> = Vec::new();
+        let mut cum: i64 = 0;
+        let mut best_cum: i64 = 0;
+        let mut best_len: usize = 0;
+
+        while let Some((g, v)) = heap.pop() {
+            let v = v as usize;
+            if locked[v] || g != gain(v, side) {
+                if !locked[v] {
+                    heap.push((gain(v, side), v as u32));
+                }
+                continue;
+            }
+            // balance check for moving v
+            let new_left = if side[v] {
+                weight_left + wg.vwgt[v]
+            } else {
+                weight_left.saturating_sub(wg.vwgt[v])
+            };
+            if new_left > max_left || new_left < min_left {
+                locked[v] = true; // can't move this pass
+                continue;
+            }
+            // apply move
+            side[v] = !side[v];
+            weight_left = new_left;
+            locked[v] = true;
+            moves.push(v as u32);
+            cum += g;
+            if cum > best_cum {
+                best_cum = cum;
+                best_len = moves.len();
+            }
+            for (u, _) in wg.neighbors(v) {
+                let u = u as usize;
+                if !locked[u] {
+                    heap.push((gain(u, side), u as u32));
+                }
+            }
+            // Bound pass length to avoid O(n log n) churn on huge graphs.
+            if moves.len() > n.min(4096) {
+                break;
+            }
+        }
+        // rollback moves beyond the best prefix
+        for &v in &moves[best_len..] {
+            side[v as usize] = !side[v as usize];
+        }
+        if best_cum == 0 {
+            break; // no improvement this pass
+        }
+    }
+}
+
+fn is_boundary(wg: &WGraph, side: &[bool], v: usize) -> bool {
+    wg.neighbors(v).any(|(u, _)| side[u as usize] != side[v])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::PartitionQuality;
+    use fun3d_mesh::generator::MeshPreset;
+
+    #[test]
+    fn partitions_cover_all_parts() {
+        let m = MeshPreset::Tiny.build();
+        let g = m.vertex_graph();
+        for k in [2usize, 3, 4, 7] {
+            let part = partition_graph(&g, k, &MultilevelConfig::default());
+            assert_eq!(part.len(), g.nvertices());
+            let mut seen = vec![false; k];
+            for &p in &part {
+                assert!((p as usize) < k);
+                seen[p as usize] = true;
+            }
+            assert!(seen.iter().all(|&s| s), "some part empty for k={k}");
+        }
+    }
+
+    #[test]
+    fn balanced_within_tolerance() {
+        let m = MeshPreset::Small.build();
+        let g = m.vertex_graph();
+        for k in [2usize, 4, 8] {
+            let part = partition_graph(&g, k, &MultilevelConfig::default());
+            let q = PartitionQuality::of(&m.edges(), &part, k);
+            assert!(
+                q.imbalance < 1.15,
+                "k={k} imbalance {}",
+                q.imbalance
+            );
+        }
+    }
+
+    #[test]
+    fn beats_natural_partition_on_cut() {
+        let m = MeshPreset::Small.build(); // scrambled ordering
+        let g = m.vertex_graph();
+        let edges = m.edges();
+        let k = 8;
+        let ml = partition_graph(&g, k, &MultilevelConfig::default());
+        let nat = crate::natural_partition(g.nvertices(), k);
+        let cut_ml = crate::cut_edges(&edges, &ml);
+        let cut_nat = crate::cut_edges(&edges, &nat);
+        assert!(
+            (cut_ml as f64) < 0.5 * cut_nat as f64,
+            "multilevel cut {cut_ml} vs natural {cut_nat}"
+        );
+    }
+
+    #[test]
+    fn single_part_trivial() {
+        let m = MeshPreset::Tiny.build();
+        let g = m.vertex_graph();
+        let part = partition_graph(&g, 1, &MultilevelConfig::default());
+        assert!(part.iter().all(|&p| p == 0));
+    }
+
+    #[test]
+    fn deterministic_with_seed() {
+        let m = MeshPreset::Tiny.build();
+        let g = m.vertex_graph();
+        let cfg = MultilevelConfig::default();
+        let a = partition_graph(&g, 4, &cfg);
+        let b = partition_graph(&g, 4, &cfg);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn cut_quality_reasonable_for_3d_mesh() {
+        // For a good 2-way split of an N-vertex 3D mesh the cut should be
+        // O(N^(2/3)); natural ordering of a scrambled mesh cuts O(E).
+        let m = MeshPreset::Small.build();
+        let g = m.vertex_graph();
+        let edges = m.edges();
+        let part = partition_graph(&g, 2, &MultilevelConfig::default());
+        let q = PartitionQuality::of(&edges, &part, 2);
+        assert!(
+            q.cut_fraction < 0.12,
+            "2-way cut fraction {} too large",
+            q.cut_fraction
+        );
+    }
+
+    #[test]
+    fn disconnected_graph_handled() {
+        // Two disjoint triangles.
+        let g = fun3d_mesh::Graph::from_edges(
+            6,
+            &[[0, 1], [1, 2], [0, 2], [3, 4], [4, 5], [3, 5]],
+        );
+        let part = partition_graph(&g, 2, &MultilevelConfig::default());
+        let q = PartitionQuality::of(
+            &[[0, 1], [1, 2], [0, 2], [3, 4], [4, 5], [3, 5]],
+            &part,
+            2,
+        );
+        assert_eq!(q.cut, 0, "disjoint triangles should split cleanly");
+        assert!((q.imbalance - 1.0).abs() < 1e-9);
+    }
+}

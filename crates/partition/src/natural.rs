@@ -1,0 +1,54 @@
+//! Natural-order (contiguous-range) partitioning.
+
+use crate::Partition;
+
+/// Splits `0..n` vertices into `nparts` contiguous, near-equal ranges —
+/// the paper's "basic partitioning" (splitting "based on natural order").
+pub fn natural_partition(n: usize, nparts: usize) -> Partition {
+    assert!(nparts > 0);
+    let mut part = vec![0u32; n];
+    for p in 0..nparts {
+        let r = fun3d_threads::chunk_range(n, nparts, p);
+        for v in r {
+            part[v] = p as u32;
+        }
+    }
+    part
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covers_all_vertices_balanced() {
+        let part = natural_partition(10, 3);
+        assert_eq!(part.len(), 10);
+        let mut counts = [0usize; 3];
+        for &p in &part {
+            counts[p as usize] += 1;
+        }
+        assert_eq!(counts.iter().sum::<usize>(), 10);
+        assert!(counts.iter().all(|&c| c == 3 || c == 4));
+    }
+
+    #[test]
+    fn contiguous_ranges() {
+        let part = natural_partition(100, 7);
+        for w in part.windows(2) {
+            assert!(w[1] == w[0] || w[1] == w[0] + 1, "parts must be contiguous");
+        }
+    }
+
+    #[test]
+    fn single_part() {
+        let part = natural_partition(5, 1);
+        assert!(part.iter().all(|&p| p == 0));
+    }
+
+    #[test]
+    fn more_parts_than_vertices() {
+        let part = natural_partition(2, 4);
+        assert_eq!(part, vec![0, 1]);
+    }
+}

@@ -1,0 +1,161 @@
+//! AoS / SoA gather and scatter helpers for vertex data.
+//!
+//! The paper's data-structure study (Section V.A, "Data structures"): edge
+//! data is streamed and therefore kept as Structure-of-Arrays, while *node*
+//! data — whose 4 state variables per vertex are consumed together — is
+//! kept as (multiple) Array-of-Structures so one vector load grabs a whole
+//! vertex and the lane transpose happens in registers. These helpers are
+//! the building blocks both layouts use in the SIMD flux kernels.
+
+use crate::vec4::F64x4;
+
+/// Gathers one field (`field < stride`) for four vertices stored AoS
+/// (`data[v * stride + field]`), producing one SIMD lane per vertex.
+#[inline]
+pub fn aos_gather4(data: &[f64], stride: usize, field: usize, idx: [usize; 4]) -> F64x4 {
+    F64x4([
+        data[idx[0] * stride + field],
+        data[idx[1] * stride + field],
+        data[idx[2] * stride + field],
+        data[idx[3] * stride + field],
+    ])
+}
+
+/// Loads all `N` fields of four AoS vertices and transposes them so that
+/// output `[f]` holds field `f` of the four vertices. This models the
+/// "vector load + register permutation" access the paper prefers: 4 vector
+/// loads (one per vertex) instead of `N` gathers.
+#[inline]
+pub fn aos_load_transpose<const N: usize>(
+    data: &[f64],
+    stride: usize,
+    idx: [usize; 4],
+) -> [F64x4; N] {
+    debug_assert!(N <= stride);
+    let mut out = [F64x4::zero(); N];
+    for lane in 0..4 {
+        let base = idx[lane] * stride;
+        let v = &data[base..base + N];
+        for (f, o) in out.iter_mut().enumerate() {
+            o.0[lane] = v[f];
+        }
+    }
+    out
+}
+
+/// Gathers one SoA field array at four indices.
+#[inline]
+pub fn soa_gather4(field: &[f64], idx: [usize; 4]) -> F64x4 {
+    F64x4([field[idx[0]], field[idx[1]], field[idx[2]], field[idx[3]]])
+}
+
+/// Scatter-adds four lane values into an AoS field at four indices.
+///
+/// This is the scalar "write-out" phase of the paper's SIMD restructuring:
+/// the compute runs vectorized into temporaries and results are committed
+/// with scalar stores, eliminating intra-batch dependences. Indices may
+/// repeat; later lanes accumulate on earlier ones, matching sequential
+/// edge-order semantics.
+#[inline]
+pub fn aos_scatter_add4(data: &mut [f64], stride: usize, field: usize, idx: [usize; 4], v: F64x4) {
+    for lane in 0..4 {
+        data[idx[lane] * stride + field] += v.0[lane];
+    }
+}
+
+/// Converts an SoA set of `nf` field slices (each `n` long) into a single
+/// AoS buffer of stride `nf`.
+pub fn soa_to_aos(fields: &[&[f64]]) -> Vec<f64> {
+    let nf = fields.len();
+    if nf == 0 {
+        return Vec::new();
+    }
+    let n = fields[0].len();
+    assert!(fields.iter().all(|f| f.len() == n), "ragged SoA fields");
+    let mut out = vec![0.0; n * nf];
+    for (fi, field) in fields.iter().enumerate() {
+        for (vi, &x) in field.iter().enumerate() {
+            out[vi * nf + fi] = x;
+        }
+    }
+    out
+}
+
+/// Converts an AoS buffer with the given stride into per-field SoA vectors.
+pub fn aos_to_soa(data: &[f64], stride: usize) -> Vec<Vec<f64>> {
+    assert!(stride > 0 && data.len() % stride == 0);
+    let n = data.len() / stride;
+    let mut out = vec![vec![0.0; n]; stride];
+    for vi in 0..n {
+        for fi in 0..stride {
+            out[fi][vi] = data[vi * stride + fi];
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn aos_fixture() -> Vec<f64> {
+        // 5 vertices, 3 fields: data[v*3+f] = 100*v + f
+        let mut d = vec![0.0; 15];
+        for v in 0..5 {
+            for f in 0..3 {
+                d[v * 3 + f] = (100 * v + f) as f64;
+            }
+        }
+        d
+    }
+
+    #[test]
+    fn gather_aos_field() {
+        let d = aos_fixture();
+        let g = aos_gather4(&d, 3, 2, [0, 2, 4, 1]);
+        assert_eq!(g.0, [2.0, 202.0, 402.0, 102.0]);
+    }
+
+    #[test]
+    fn load_transpose_matches_gather() {
+        let d = aos_fixture();
+        let idx = [3, 1, 4, 0];
+        let t: [F64x4; 3] = aos_load_transpose(&d, 3, idx);
+        for f in 0..3 {
+            assert_eq!(t[f], aos_gather4(&d, 3, f, idx));
+        }
+    }
+
+    #[test]
+    fn gather_soa() {
+        let f: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let g = soa_gather4(&f, [9, 0, 5, 5]);
+        assert_eq!(g.0, [9.0, 0.0, 5.0, 5.0]);
+    }
+
+    #[test]
+    fn scatter_add_accumulates_duplicates() {
+        let mut d = vec![0.0; 12]; // 4 vertices, stride 3
+        aos_scatter_add4(&mut d, 3, 1, [0, 2, 0, 3], F64x4([1.0, 2.0, 3.0, 4.0]));
+        assert_eq!(d[0 * 3 + 1], 4.0); // lanes 0 and 2 both hit vertex 0
+        assert_eq!(d[2 * 3 + 1], 2.0);
+        assert_eq!(d[3 * 3 + 1], 4.0);
+    }
+
+    #[test]
+    fn soa_aos_roundtrip() {
+        let a: Vec<f64> = (0..12).map(|i| i as f64).collect();
+        let soa = aos_to_soa(&a, 4);
+        let refs: Vec<&[f64]> = soa.iter().map(|v| v.as_slice()).collect();
+        let back = soa_to_aos(&refs);
+        assert_eq!(back, a);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_soa_panics() {
+        let a = [1.0, 2.0];
+        let b = [1.0];
+        soa_to_aos(&[&a, &b]);
+    }
+}

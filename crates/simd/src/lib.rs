@@ -1,0 +1,23 @@
+//! Portable 4-wide double-precision SIMD primitives.
+//!
+//! The paper's single-node machine (Xeon E5-2690v2) has 4-wide DP AVX
+//! units, and its flux-kernel vectorization processes **four edges per
+//! thread concurrently**, one edge per SIMD lane, with computation written
+//! so the auto-vectorizer emits packed code (the paper found auto
+//! vectorization matched or beat hand intrinsics). We mirror that design:
+//! [`F64x4`] is a `#[repr(align(32))]` 4-lane value type whose lane-wise
+//! operators compile to packed AVX when the target supports it, and to
+//! decent scalar code elsewhere. Kernels written against `F64x4` are the
+//! "SIMD" variants of the paper; the same kernels written against `f64`
+//! are the scalar baselines.
+
+pub mod layout;
+pub mod prefetch;
+pub mod vec4;
+
+pub use layout::{aos_gather4, aos_load_transpose, aos_scatter_add4, soa_gather4};
+pub use prefetch::{prefetch_l1, prefetch_l2};
+pub use vec4::F64x4;
+
+/// Number of lanes in the SIMD value type, matching 256-bit AVX doubles.
+pub const LANES: usize = 4;

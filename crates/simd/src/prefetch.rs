@@ -1,0 +1,79 @@
+//! Software prefetch hints.
+//!
+//! On an unstructured mesh the vertices touched by successive edges follow
+//! no regular order, so hardware prefetchers miss them — but the edge list
+//! *is* known ahead of time, so the paper issues explicit prefetches for
+//! the node and edge data of edges a fixed distance ahead, into both L1
+//! and L2 (Section V.A, "Software Prefetching"; 28% execution-time
+//! reduction on the flux kernel). These wrappers compile to
+//! `prefetcht0`/`prefetcht1` on x86-64 and to nothing elsewhere, so
+//! kernels can call them unconditionally.
+
+/// Prefetches the cache line containing `&data[i]` into L1 (T0 hint).
+/// Out-of-range indices are ignored, which lets kernels prefetch
+/// `i + DIST` without guarding the loop tail.
+#[inline(always)]
+pub fn prefetch_l1<T>(data: &[T], i: usize) {
+    if i < data.len() {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: the pointer is within the slice; prefetch has no memory
+        // effects visible to the program.
+        unsafe {
+            std::arch::x86_64::_mm_prefetch::<{ std::arch::x86_64::_MM_HINT_T0 }>(
+                data.as_ptr().add(i).cast::<i8>(),
+            );
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            let _ = &data[i];
+        }
+    }
+}
+
+/// Prefetches the cache line containing `&data[i]` into L2 (T1 hint).
+#[inline(always)]
+pub fn prefetch_l2<T>(data: &[T], i: usize) {
+    if i < data.len() {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: see prefetch_l1.
+        unsafe {
+            std::arch::x86_64::_mm_prefetch::<{ std::arch::x86_64::_MM_HINT_T1 }>(
+                data.as_ptr().add(i).cast::<i8>(),
+            );
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            let _ = &data[i];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prefetch_in_range_is_noop_semantically() {
+        let data = vec![1.0f64; 128];
+        prefetch_l1(&data, 0);
+        prefetch_l1(&data, 127);
+        prefetch_l2(&data, 64);
+        // No observable effect; the test asserts we did not fault.
+        assert_eq!(data[127], 1.0);
+    }
+
+    #[test]
+    fn prefetch_out_of_range_is_ignored() {
+        let data = vec![0u8; 4];
+        prefetch_l1(&data, 4);
+        prefetch_l1(&data, usize::MAX);
+        prefetch_l2(&data, 1_000_000);
+    }
+
+    #[test]
+    fn prefetch_empty_slice() {
+        let data: Vec<f64> = Vec::new();
+        prefetch_l1(&data, 0);
+        prefetch_l2(&data, 0);
+    }
+}

@@ -1,0 +1,34 @@
+//! Newton–Krylov–Schwarz solver stack (the PETSc Vec/KSP/SNES/PC substrate).
+//!
+//! PETSc-FUN3D's solver is ΨNKS: **pseudo-transient continuation** wraps
+//! an **inexact Newton** method whose linear systems are solved by
+//! **restarted GMRES**, preconditioned with an **additive Schwarz / block-
+//! Jacobi ILU** of a lower-order Jacobian, with the true Jacobian action
+//! applied **matrix-free** by finite differences [12]. This crate
+//! implements each layer:
+//!
+//! * [`vecops`] — the PETSc vector primitives by name (`VecWAXPY`,
+//!   `VecMAXPY`, `VecMDot`, `VecNorm`, scatters), serial and threaded;
+//!   the paper calls out that these are *not* threaded in stock PETSc and
+//!   optimizes them (Section VI.A);
+//! * [`op`] — linear operators: assembled BCSR or finite-difference
+//!   matrix-free Jacobian with a pseudo-time diagonal shift;
+//! * [`precond`] — identity, global ILU, and block-Jacobi (zero-overlap
+//!   additive Schwarz) ILU preconditioners with serial, level-scheduled
+//!   and P2P-synchronized application;
+//! * [`gmres`] — left-preconditioned GMRES(m) with classical Gram-Schmidt
+//!   (PETSc's default KSP for this code) and Givens least squares;
+//! * [`ptc`] — pseudo-transient continuation with switched evolution
+//!   relaxation (Mulder & Van Leer [11]): `Δt` grows as the steady
+//!   residual falls, driving Newton to the steady state.
+
+pub mod gmres;
+pub mod op;
+pub mod precond;
+pub mod ptc;
+pub mod vecops;
+
+pub use gmres::{Gmres, GmresConfig, GmresOutcome};
+pub use op::{FdJacobian, LinearOperator, ShiftedOperator};
+pub use precond::{BlockJacobiIlu, IdentityPrecond, IluApply, Preconditioner, SerialIlu};
+pub use ptc::{PtcConfig, PtcProblem, PtcStats};

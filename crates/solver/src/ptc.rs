@@ -1,0 +1,351 @@
+//! Pseudo-transient continuation (ΨTC) with inexact Newton.
+//!
+//! The implicit step (paper Eq. 2): `F(u_l) = (u_l − u_{l−1})/Δt_l +
+//! f(u_l) = 0` with `Δt_l → ∞`, solved by an inexact Newton method whose
+//! corrections come from preconditioned GMRES (Eq. 3). The time step
+//! follows **switched evolution relaxation**: `Δt_l = Δt_0 · ‖f(u_0)‖ /
+//! ‖f(u_{l−1})‖` (capped), so the method behaves like time marching far
+//! from the solution and like Newton near it.
+
+use crate::gmres::{Gmres, GmresConfig};
+use crate::op::FdJacobian;
+use crate::precond::Preconditioner;
+use crate::vecops;
+
+/// The problem interface the CFD application implements.
+pub trait PtcProblem {
+    /// Number of scalar unknowns.
+    fn dim(&self) -> usize;
+
+    /// Steady residual `r = f(u)` (time term excluded).
+    fn residual(&mut self, u: &[f64], r: &mut [f64]);
+
+    /// Writes the pseudo-time diagonal `V_i / Δt` per unknown.
+    fn time_diag(&self, dt: f64, out: &mut [f64]);
+
+    /// Rebuilds the preconditioner for state `u` with the given time
+    /// diagonal, returning it for this step's linear solves.
+    fn build_preconditioner(&mut self, u: &[f64], time_diag: &[f64]);
+
+    /// The preconditioner built by the last `build_preconditioner` call.
+    fn preconditioner(&self) -> &dyn Preconditioner;
+
+    /// Hook called once per time step with the current residual norm
+    /// (used by the application's progress logging). Default: no-op.
+    fn on_step(&mut self, _step: usize, _res_norm: f64, _dt: f64) {}
+}
+
+/// ΨTC driver parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct PtcConfig {
+    /// Initial CFL-like pseudo-time step.
+    pub dt0: f64,
+    /// Upper bound on Δt (keeps the shifted system nonsingular).
+    pub dt_max: f64,
+    /// Stop when ‖f(u)‖ ≤ rtol · ‖f(u₀)‖.
+    pub rtol: f64,
+    /// Stop when ‖f(u)‖ ≤ atol.
+    pub atol: f64,
+    /// Maximum pseudo-time steps.
+    pub max_steps: usize,
+    /// Newton iterations per time step (PETSc-FUN3D uses 1).
+    pub newton_per_step: usize,
+    /// Linear solver settings.
+    pub gmres: GmresConfig,
+}
+
+impl Default for PtcConfig {
+    fn default() -> Self {
+        PtcConfig {
+            dt0: 1.0,
+            dt_max: 1e12,
+            rtol: 1e-8,
+            atol: 1e-300,
+            max_steps: 200,
+            newton_per_step: 1,
+            gmres: GmresConfig {
+                rtol: 1e-3, // inexact Newton: loose inner tolerance
+                ..Default::default()
+            },
+        }
+    }
+}
+
+/// Convergence record of a ΨTC solve.
+#[derive(Clone, Debug)]
+pub struct PtcStats {
+    /// Pseudo-time steps taken.
+    pub time_steps: usize,
+    /// Total Newton iterations.
+    pub newton_iters: usize,
+    /// Total linear (GMRES) iterations — the paper's "linear iterations".
+    pub linear_iters: usize,
+    /// ‖f(u)‖ after each time step.
+    pub res_history: Vec<f64>,
+    /// True when the tolerance was met.
+    pub converged: bool,
+}
+
+/// Runs ΨTC on `problem`, updating `u` in place.
+pub fn solve(problem: &mut dyn PtcProblem, u: &mut [f64], config: &PtcConfig) -> PtcStats {
+    let n = problem.dim();
+    assert_eq!(u.len(), n);
+    let mut r = vec![0.0; n];
+    let mut shift = vec![0.0; n];
+    let mut rhs = vec![0.0; n];
+    let mut delta = vec![0.0; n];
+    let mut gmres = Gmres::new(n, config.gmres);
+
+    problem.residual(u, &mut r);
+    let res0 = vecops::norm2(&r);
+    let mut res = res0;
+    let mut stats = PtcStats {
+        time_steps: 0,
+        newton_iters: 0,
+        linear_iters: 0,
+        res_history: vec![res0],
+        converged: res0 <= config.atol,
+    };
+    if stats.converged || res0 == 0.0 {
+        stats.converged = true;
+        return stats;
+    }
+
+    for step in 0..config.max_steps {
+        // SER time step growth.
+        let dt = (config.dt0 * res0 / res).min(config.dt_max);
+        problem.time_diag(dt, &mut shift);
+        problem.build_preconditioner(u, &shift);
+
+        for _ in 0..config.newton_per_step {
+            // Solve (diag(shift) + J) δ = −f(u), matrix-free.
+            for i in 0..n {
+                rhs[i] = -r[i];
+            }
+            delta.iter_mut().for_each(|d| *d = 0.0);
+            let lin = {
+                // Borrow problem immutably for the residual closure: we
+                // copy the state into the jacobian via a local closure
+                // around a RefCell-free trick — residual needs &mut self,
+                // so evaluate through a raw pointer with care.
+                let prob_ptr: *mut dyn PtcProblem = problem;
+                let residual_fn = move |x: &[f64], out: &mut [f64]| {
+                    // SAFETY: FdJacobian::apply is only invoked from
+                    // gmres.solve below, while no other borrow of
+                    // `problem` is live; calls are strictly sequential.
+                    unsafe { (*prob_ptr).residual(x, out) };
+                };
+                let jac = FdJacobian::new(residual_fn, u, &r, &shift);
+                gmres.solve(&jac, problem.preconditioner(), &rhs, &mut delta)
+            };
+            stats.linear_iters += lin.iterations;
+            stats.newton_iters += 1;
+            vecops::axpy(u, 1.0, &delta);
+            problem.residual(u, &mut r);
+        }
+
+        res = vecops::norm2(&r);
+        stats.time_steps = step + 1;
+        stats.res_history.push(res);
+        problem.on_step(step + 1, res, dt);
+
+        if res <= config.rtol * res0 || res <= config.atol {
+            stats.converged = true;
+            break;
+        }
+        if !res.is_finite() {
+            break; // diverged; caller inspects history
+        }
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::precond::{IdentityPrecond, SerialIlu};
+    use fun3d_sparse::Bcsr4;
+
+    /// Linear test problem: f(u) = A u − b. Steady state solves A u = b.
+    struct LinearProblem {
+        a: Bcsr4,
+        b: Vec<f64>,
+        precond: Option<SerialIlu>,
+        vol: Vec<f64>,
+    }
+
+    impl LinearProblem {
+        fn new(seed: u64) -> Self {
+            let m = fun3d_mesh::generator::MeshPreset::Tiny.build();
+            let mut a = Bcsr4::from_edges(m.nvertices(), &m.edges());
+            a.fill_diag_dominant(seed);
+            let n = a.dim();
+            let b: Vec<f64> = (0..n).map(|i| ((i % 11) as f64 - 5.0) * 0.1).collect();
+            let vol = vec![1.0; n];
+            LinearProblem {
+                a,
+                b,
+                precond: None,
+                vol,
+            }
+        }
+    }
+
+    impl PtcProblem for LinearProblem {
+        fn dim(&self) -> usize {
+            self.a.dim()
+        }
+        fn residual(&mut self, u: &[f64], r: &mut [f64]) {
+            self.a.spmv(u, r);
+            for i in 0..r.len() {
+                r[i] -= self.b[i];
+            }
+        }
+        fn time_diag(&self, dt: f64, out: &mut [f64]) {
+            for (o, v) in out.iter_mut().zip(&self.vol) {
+                *o = v / dt;
+            }
+        }
+        fn build_preconditioner(&mut self, _u: &[f64], _time_diag: &[f64]) {
+            // Note: for simplicity the test preconditioner ignores the
+            // time shift; it stays a valid (slightly lagged) M⁻¹.
+            if self.precond.is_none() {
+                self.precond = Some(SerialIlu::new(&self.a, 0));
+            }
+        }
+        fn preconditioner(&self) -> &dyn Preconditioner {
+            self.precond.as_ref().unwrap()
+        }
+    }
+
+    #[test]
+    fn converges_to_linear_steady_state() {
+        let mut p = LinearProblem::new(81);
+        let n = p.dim();
+        let mut u = vec![0.0; n];
+        let stats = solve(
+            &mut p,
+            &mut u,
+            &PtcConfig {
+                dt0: 10.0,
+                rtol: 1e-10,
+                max_steps: 100,
+                ..Default::default()
+            },
+        );
+        assert!(stats.converged, "history: {:?}", stats.res_history);
+        // u solves A u = b
+        let mut r = vec![0.0; n];
+        p.residual(&u, &mut r);
+        assert!(vecops::norm2(&r) < 1e-8 * vecops::norm2(&p.b).max(1.0));
+    }
+
+    #[test]
+    fn residual_history_decreases() {
+        let mut p = LinearProblem::new(82);
+        let n = p.dim();
+        let mut u = vec![0.0; n];
+        let stats = solve(
+            &mut p,
+            &mut u,
+            &PtcConfig {
+                dt0: 5.0,
+                rtol: 1e-9,
+                ..Default::default()
+            },
+        );
+        let h = &stats.res_history;
+        assert!(h.len() >= 3);
+        assert!(h.last().unwrap() < &(h[0] * 1e-6));
+        // broadly monotone: each step no worse than 10x the previous
+        for w in h.windows(2) {
+            assert!(w[1] < 10.0 * w[0]);
+        }
+    }
+
+    #[test]
+    fn small_dt_needs_more_steps_than_large() {
+        let run = |dt0: f64| {
+            let mut p = LinearProblem::new(83);
+            let mut u = vec![0.0; p.dim()];
+            solve(
+                &mut p,
+                &mut u,
+                &PtcConfig {
+                    dt0,
+                    rtol: 1e-8,
+                    max_steps: 500,
+                    ..Default::default()
+                },
+            )
+        };
+        let slow = run(0.05);
+        let fast = run(50.0);
+        assert!(slow.converged && fast.converged);
+        assert!(
+            fast.time_steps <= slow.time_steps,
+            "dt0=50 took {} steps, dt0=0.05 took {}",
+            fast.time_steps,
+            slow.time_steps
+        );
+    }
+
+    #[test]
+    fn counts_linear_iterations() {
+        let mut p = LinearProblem::new(84);
+        let mut u = vec![0.0; p.dim()];
+        let stats = solve(&mut p, &mut u, &PtcConfig::default());
+        assert!(stats.linear_iters >= stats.newton_iters);
+        assert_eq!(stats.newton_iters, stats.time_steps);
+    }
+
+    /// A genuinely nonlinear scalar-ish problem: f(u)_i = u_i + u_i^3 − c_i.
+    struct CubicProblem {
+        c: Vec<f64>,
+        ident: IdentityPrecond,
+    }
+
+    impl PtcProblem for CubicProblem {
+        fn dim(&self) -> usize {
+            self.c.len()
+        }
+        fn residual(&mut self, u: &[f64], r: &mut [f64]) {
+            for i in 0..u.len() {
+                r[i] = u[i] + u[i] * u[i] * u[i] - self.c[i];
+            }
+        }
+        fn time_diag(&self, dt: f64, out: &mut [f64]) {
+            out.iter_mut().for_each(|o| *o = 1.0 / dt);
+        }
+        fn build_preconditioner(&mut self, _u: &[f64], _s: &[f64]) {}
+        fn preconditioner(&self) -> &dyn Preconditioner {
+            &self.ident
+        }
+    }
+
+    #[test]
+    fn nonlinear_problem_converges() {
+        let n = 32;
+        let c: Vec<f64> = (0..n).map(|i| ((i as f64 * 0.3).sin()) * 2.0).collect();
+        let mut p = CubicProblem {
+            c: c.clone(),
+            ident: IdentityPrecond(n),
+        };
+        let mut u = vec![0.0; n];
+        let stats = solve(
+            &mut p,
+            &mut u,
+            &PtcConfig {
+                dt0: 1.0,
+                rtol: 1e-10,
+                max_steps: 200,
+                ..Default::default()
+            },
+        );
+        assert!(stats.converged);
+        for i in 0..n {
+            let f = u[i] + u[i].powi(3) - c[i];
+            assert!(f.abs() < 1e-7, "i={i}: residual {f}");
+        }
+    }
+}

@@ -1,0 +1,535 @@
+//! Incomplete LU factorization on 4×4 block matrices.
+//!
+//! ILU(0) keeps the pattern of A; ILU(k) first runs a symbolic level-of-
+//! fill pass (Chow & Saad [23]) and factors on the expanded pattern. The
+//! original PETSc-FUN3D uses ILU(1) inside the additive Schwarz
+//! preconditioner; the paper's Table II shows the ILU-0 vs ILU-1 tradeoff
+//! between convergence (fewer iterations with fill) and available
+//! parallelism (shorter dependency chains without).
+//!
+//! Two PETSc layout optimizations from the paper are reproduced:
+//! * diagonal blocks are **inverted during factorization** and stored, so
+//!   the backward solve multiplies instead of solving per row [17];
+//! * L and U are stored separately in the order the solves traverse them.
+//!
+//! The paper's algorithmic optimization for threading is also here: the
+//! per-row working buffer can be **compressed** ([`TempBuffer::Compressed`])
+//! — indexed through the static pattern of the row instead of a full
+//! n-wide scratch array — shrinking the per-thread working set.
+
+use crate::bcsr::Bcsr4;
+use crate::block::{self, Block4, BLOCK_LEN, ZERO_BLOCK};
+
+/// Which working buffer the numeric factorization uses; both produce
+/// identical factors.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TempBuffer {
+    /// One block slot per matrix row (large stride, big working set).
+    Full,
+    /// One block slot per pattern entry of the current row, mapped through
+    /// binary search on the static pattern (the paper's optimization).
+    Compressed,
+}
+
+/// The result of a block ILU factorization.
+#[derive(Clone, Debug)]
+pub struct IluFactors {
+    /// Strictly-lower blocks of each row (unit diagonal implied), stored
+    /// in forward-solve order.
+    pub l: Bcsr4,
+    /// Strictly-upper blocks of each row, stored row-major (the backward
+    /// solve walks rows in reverse).
+    pub u: Bcsr4,
+    /// Inverted diagonal blocks, 16 doubles per row.
+    pub dinv: Vec<f64>,
+}
+
+impl IluFactors {
+    /// Number of block rows.
+    pub fn nrows(&self) -> usize {
+        self.dinv.len() / BLOCK_LEN
+    }
+
+    /// The inverted diagonal block of row `r`.
+    #[inline]
+    pub fn dinv_block(&self, r: usize) -> &Block4 {
+        self.dinv[r * BLOCK_LEN..(r + 1) * BLOCK_LEN]
+            .try_into()
+            .unwrap()
+    }
+
+    /// Bytes touched by one forward+backward solve sweep (for Fig. 7b).
+    pub fn sweep_bytes(&self) -> usize {
+        self.l.sweep_bytes() + self.u.sweep_bytes() + self.dinv.len() * 8
+    }
+}
+
+/// Computes the ILU(`fill`) pattern of a matrix: for each row, the sorted
+/// block columns retained. `fill = 0` returns A's own pattern.
+///
+/// Standard level-of-fill recurrence: `lev(i,j) = 0` for original
+/// entries, and fill entry levels satisfy
+/// `lev(i,j) = min_k lev(i,k) + lev(k,j) + 1`; entries with level ≤ fill
+/// are kept.
+pub fn symbolic_iluk(a: &Bcsr4, fill: usize) -> Vec<Vec<u32>> {
+    let n = a.nrows();
+    // Per processed row we keep its upper part (cols > row) with levels,
+    // needed by later rows.
+    let mut upper: Vec<Vec<(u32, u8)>> = Vec::with_capacity(n);
+    let mut pattern: Vec<Vec<u32>> = Vec::with_capacity(n);
+    let cap = u8::try_from(fill.min(254)).unwrap();
+
+    // Working row: level per column, epoch-tagged.
+    let mut lev = vec![u8::MAX; n];
+    let mut stamp = vec![0u32; n];
+    let mut epoch = 0u32;
+
+    for i in 0..n {
+        epoch += 1;
+        // cols of the working row, kept sorted ascending as we go
+        let mut cols: Vec<u32> = Vec::with_capacity(a.row_ptr[i + 1] - a.row_ptr[i] + 8);
+        for k in a.row_ptr[i]..a.row_ptr[i + 1] {
+            let c = a.col_idx[k];
+            cols.push(c);
+            lev[c as usize] = 0;
+            stamp[c as usize] = epoch;
+        }
+        // Process pivot columns k < i in ascending order, including fill
+        // inserted during this row's elimination.
+        let mut pos = 0;
+        while pos < cols.len() {
+            let k = cols[pos];
+            pos += 1;
+            if k as usize >= i {
+                break;
+            }
+            let lik = lev[k as usize];
+            debug_assert!(lik <= cap, "kept entries never exceed the fill cap");
+            for &(j, lkj) in &upper[k as usize] {
+                let newlev = lik.saturating_add(lkj).saturating_add(1);
+                if newlev > cap {
+                    continue;
+                }
+                let ju = j as usize;
+                if stamp[ju] == epoch {
+                    if newlev < lev[ju] {
+                        lev[ju] = newlev;
+                    }
+                } else {
+                    stamp[ju] = epoch;
+                    lev[ju] = newlev;
+                    // insert keeping `cols[pos..]` sorted; j > k ≥ all
+                    // processed columns, so insertion point is ≥ pos.
+                    let ins = match cols[pos..].binary_search(&j) {
+                        Ok(_) => unreachable!("duplicate column"),
+                        Err(e) => pos + e,
+                    };
+                    cols.insert(ins, j);
+                }
+            }
+        }
+        cols.sort_unstable();
+        upper.push(
+            cols.iter()
+                .filter(|&&c| (c as usize) > i)
+                .map(|&c| (c, lev[c as usize]))
+                .collect(),
+        );
+        pattern.push(cols);
+    }
+    pattern
+}
+
+/// Numeric block ILU factorization on the given pattern (use
+/// [`symbolic_iluk`] or A's own pattern for ILU(0)). Each pattern row must
+/// be sorted, contain the diagonal, and include all of A's columns.
+pub fn factor(a: &Bcsr4, pattern: &[Vec<u32>], buffer: TempBuffer) -> IluFactors {
+    let n = a.nrows();
+    assert_eq!(pattern.len(), n);
+
+    // Split pattern into L and U parts up front (they become the outputs).
+    let lcols: Vec<Vec<u32>> = pattern
+        .iter()
+        .enumerate()
+        .map(|(i, row)| row.iter().copied().filter(|&c| (c as usize) < i).collect())
+        .collect();
+    let ucols: Vec<Vec<u32>> = pattern
+        .iter()
+        .enumerate()
+        .map(|(i, row)| row.iter().copied().filter(|&c| (c as usize) > i).collect())
+        .collect();
+    let mut l = Bcsr4::from_pattern(&lcols);
+    let mut u = Bcsr4::from_pattern(&ucols);
+    let mut dinv = vec![0.0f64; n * BLOCK_LEN];
+
+    let mut scratch = RowScratch::new(n, buffer);
+    for i in 0..n {
+        factor_row(a, pattern, &mut l, &mut u, &mut dinv, i, &mut scratch);
+    }
+    IluFactors { l, u, dinv }
+}
+
+/// Working storage for one row's elimination, reusable across rows (and
+/// allocated per thread in the parallel factorization).
+pub struct RowScratch {
+    mode: TempBuffer,
+    /// Full mode: one block per matrix column.
+    full: Vec<f64>,
+    /// Full mode: epoch stamps marking valid columns.
+    stamp: Vec<u32>,
+    epoch: u32,
+    /// Compressed mode: one block per pattern entry of the current row.
+    packed: Vec<f64>,
+}
+
+impl RowScratch {
+    /// Creates scratch for a matrix with `n` block rows.
+    pub fn new(n: usize, mode: TempBuffer) -> Self {
+        match mode {
+            TempBuffer::Full => RowScratch {
+                mode,
+                full: vec![0.0; n * BLOCK_LEN],
+                stamp: vec![0; n],
+                epoch: 0,
+                packed: Vec::new(),
+            },
+            TempBuffer::Compressed => RowScratch {
+                mode,
+                full: Vec::new(),
+                stamp: Vec::new(),
+                epoch: 0,
+                packed: Vec::new(),
+            },
+        }
+    }
+
+    /// Bytes of scratch memory this mode actually touches for a row with
+    /// `row_len` pattern entries in a matrix with `n` rows — the working-
+    /// set quantity the paper's optimization shrinks.
+    pub fn touched_bytes(&self, n: usize, row_len: usize) -> usize {
+        match self.mode {
+            TempBuffer::Full => n * BLOCK_LEN * 8 + n * 4,
+            TempBuffer::Compressed => row_len * BLOCK_LEN * 8,
+        }
+    }
+}
+
+/// Eliminates one row. Exposed (crate-visible via the parallel module) so
+/// the level-scheduled and P2P factorization drivers can share it.
+pub(crate) fn factor_row(
+    a: &Bcsr4,
+    pattern: &[Vec<u32>],
+    l: &mut Bcsr4,
+    u: &mut Bcsr4,
+    dinv: &mut [f64],
+    i: usize,
+    scratch: &mut RowScratch,
+) {
+    let row = &pattern[i];
+    match scratch.mode {
+        TempBuffer::Full => {
+            scratch.epoch += 1;
+            let epoch = scratch.epoch;
+            // load A row i (fill entries start at zero)
+            for &c in row {
+                let cu = c as usize;
+                scratch.stamp[cu] = epoch;
+                let dst = &mut scratch.full[cu * BLOCK_LEN..(cu + 1) * BLOCK_LEN];
+                match a.find(i, c) {
+                    Some(k) => dst.copy_from_slice(a.block(k)),
+                    None => dst.copy_from_slice(&ZERO_BLOCK),
+                }
+            }
+            // eliminate with pivots k < i (ascending; row is sorted)
+            for &k in row.iter().take_while(|&&c| (c as usize) < i) {
+                let ku = k as usize;
+                // L_ik = w_k * dinv_k
+                let wk: Block4 = scratch.full[ku * BLOCK_LEN..(ku + 1) * BLOCK_LEN]
+                    .try_into()
+                    .unwrap();
+                let dk: &Block4 = dinv[ku * BLOCK_LEN..(ku + 1) * BLOCK_LEN]
+                    .try_into()
+                    .unwrap();
+                let lik = block::matmul(&wk, dk);
+                scratch.full[ku * BLOCK_LEN..(ku + 1) * BLOCK_LEN].copy_from_slice(&lik);
+                // w_j -= L_ik * U_kj for j in U(k) ∩ pattern(i)
+                for t in u.row_ptr[ku]..u.row_ptr[ku + 1] {
+                    let j = u.col_idx[t] as usize;
+                    if scratch.stamp[j] == epoch {
+                        let ukj: Block4 = u.blocks[t * BLOCK_LEN..(t + 1) * BLOCK_LEN]
+                            .try_into()
+                            .unwrap();
+                        let wj: &mut Block4 = (&mut scratch.full
+                            [j * BLOCK_LEN..(j + 1) * BLOCK_LEN])
+                            .try_into()
+                            .unwrap();
+                        block::matmul_sub_simd(&lik, &ukj, wj);
+                    }
+                }
+            }
+            // store L, D^{-1}, U
+            store_row_from(
+                |c: u32| -> Block4 {
+                    scratch.full[c as usize * BLOCK_LEN..(c as usize + 1) * BLOCK_LEN]
+                        .try_into()
+                        .unwrap()
+                },
+                row,
+                l,
+                u,
+                dinv,
+                i,
+            );
+        }
+        TempBuffer::Compressed => {
+            // packed slot s holds block for column row[s]
+            let slots = row.len();
+            scratch.packed.resize(slots * BLOCK_LEN, 0.0);
+            for (s, &c) in row.iter().enumerate() {
+                let dst = &mut scratch.packed[s * BLOCK_LEN..(s + 1) * BLOCK_LEN];
+                match a.find(i, c) {
+                    Some(k) => dst.copy_from_slice(a.block(k)),
+                    None => dst.copy_from_slice(&ZERO_BLOCK),
+                }
+            }
+            let diag_pos = row
+                .binary_search(&(i as u32))
+                .expect("pattern row must contain the diagonal");
+            for s in 0..diag_pos {
+                let ku = row[s] as usize;
+                let wk: Block4 = scratch.packed[s * BLOCK_LEN..(s + 1) * BLOCK_LEN]
+                    .try_into()
+                    .unwrap();
+                let dk: &Block4 = dinv[ku * BLOCK_LEN..(ku + 1) * BLOCK_LEN]
+                    .try_into()
+                    .unwrap();
+                let lik = block::matmul(&wk, dk);
+                scratch.packed[s * BLOCK_LEN..(s + 1) * BLOCK_LEN].copy_from_slice(&lik);
+                for t in u.row_ptr[ku]..u.row_ptr[ku + 1] {
+                    let j = u.col_idx[t];
+                    // static mapping: binary search the row pattern
+                    if let Ok(sj) = row.binary_search(&j) {
+                        let ukj: Block4 = u.blocks[t * BLOCK_LEN..(t + 1) * BLOCK_LEN]
+                            .try_into()
+                            .unwrap();
+                        let wj: &mut Block4 = (&mut scratch.packed
+                            [sj * BLOCK_LEN..(sj + 1) * BLOCK_LEN])
+                            .try_into()
+                            .unwrap();
+                        block::matmul_sub_simd(&lik, &ukj, wj);
+                    }
+                }
+            }
+            let packed = std::mem::take(&mut scratch.packed);
+            store_row_from(
+                |c: u32| -> Block4 {
+                    let s = row.binary_search(&c).unwrap();
+                    packed[s * BLOCK_LEN..(s + 1) * BLOCK_LEN].try_into().unwrap()
+                },
+                row,
+                l,
+                u,
+                dinv,
+                i,
+            );
+            scratch.packed = packed;
+        }
+    }
+}
+
+fn store_row_from(
+    get: impl Fn(u32) -> Block4,
+    row: &[u32],
+    l: &mut Bcsr4,
+    u: &mut Bcsr4,
+    dinv: &mut [f64],
+    i: usize,
+) {
+    let mut lk = l.row_ptr[i];
+    let mut uk = u.row_ptr[i];
+    for &c in row {
+        let b = get(c);
+        match (c as usize).cmp(&i) {
+            std::cmp::Ordering::Less => {
+                l.blocks[lk * BLOCK_LEN..(lk + 1) * BLOCK_LEN].copy_from_slice(&b);
+                lk += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                let inv = block::invert(&b)
+                    .expect("singular pivot block in ILU (matrix not diagonally dominant?)");
+                dinv[i * BLOCK_LEN..(i + 1) * BLOCK_LEN].copy_from_slice(&inv);
+            }
+            std::cmp::Ordering::Greater => {
+                u.blocks[uk * BLOCK_LEN..(uk + 1) * BLOCK_LEN].copy_from_slice(&b);
+                uk += 1;
+            }
+        }
+    }
+    debug_assert_eq!(lk, l.row_ptr[i + 1]);
+    debug_assert_eq!(uk, u.row_ptr[i + 1]);
+}
+
+/// Convenience: ILU(0) with the compressed buffer.
+pub fn ilu0(a: &Bcsr4) -> IluFactors {
+    let pattern: Vec<Vec<u32>> = (0..a.nrows())
+        .map(|r| a.col_idx[a.row_ptr[r]..a.row_ptr[r + 1]].to_vec())
+        .collect();
+    factor(a, &pattern, TempBuffer::Compressed)
+}
+
+/// Convenience: ILU(k) with the compressed buffer.
+pub fn iluk(a: &Bcsr4, fill: usize) -> IluFactors {
+    let pattern = symbolic_iluk(a, fill);
+    factor(a, &pattern, TempBuffer::Compressed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense;
+    use crate::trsv;
+
+    fn tridiag(n: usize, seed: u64) -> Bcsr4 {
+        let edges: Vec<[u32; 2]> = (0..n - 1).map(|i| [i as u32, i as u32 + 1]).collect();
+        let mut a = Bcsr4::from_edges(n, &edges);
+        a.fill_diag_dominant(seed);
+        a
+    }
+
+    fn mesh_matrix(seed: u64) -> Bcsr4 {
+        let m = fun3d_mesh::generator::MeshPreset::Tiny.build();
+        let mut a = Bcsr4::from_edges(m.nvertices(), &m.edges());
+        a.fill_diag_dominant(seed);
+        a
+    }
+
+    #[test]
+    fn ilu0_on_tridiagonal_is_exact_lu() {
+        // A tridiagonal (block) matrix suffers no fill, so ILU(0) is the
+        // exact factorization: solving with it must reproduce x exactly.
+        let a = tridiag(6, 11);
+        let f = ilu0(&a);
+        let n = a.dim();
+        let xref: Vec<f64> = (0..n).map(|i| ((i * 7 % 5) as f64) - 2.0).collect();
+        let mut b = vec![0.0; n];
+        a.spmv(&xref, &mut b);
+        let x = trsv::solve(&f, &b);
+        for i in 0..n {
+            assert!((x[i] - xref[i]).abs() < 1e-8, "i={i}: {} vs {}", x[i], xref[i]);
+        }
+    }
+
+    #[test]
+    fn full_and_compressed_buffers_identical() {
+        let a = mesh_matrix(5);
+        let pattern: Vec<Vec<u32>> = (0..a.nrows())
+            .map(|r| a.col_idx[a.row_ptr[r]..a.row_ptr[r + 1]].to_vec())
+            .collect();
+        let f1 = factor(&a, &pattern, TempBuffer::Full);
+        let f2 = factor(&a, &pattern, TempBuffer::Compressed);
+        assert_eq!(f1.l.blocks, f2.l.blocks);
+        assert_eq!(f1.u.blocks, f2.u.blocks);
+        assert_eq!(f1.dinv, f2.dinv);
+    }
+
+    #[test]
+    fn symbolic_ilu0_is_a_pattern() {
+        let a = mesh_matrix(1);
+        let p = symbolic_iluk(&a, 0);
+        for r in 0..a.nrows() {
+            assert_eq!(
+                p[r],
+                a.col_idx[a.row_ptr[r]..a.row_ptr[r + 1]].to_vec(),
+                "row {r}"
+            );
+        }
+    }
+
+    #[test]
+    fn symbolic_fill_grows_with_level() {
+        let a = mesh_matrix(1);
+        let n0: usize = symbolic_iluk(&a, 0).iter().map(Vec::len).sum();
+        let n1: usize = symbolic_iluk(&a, 1).iter().map(Vec::len).sum();
+        let n2: usize = symbolic_iluk(&a, 2).iter().map(Vec::len).sum();
+        assert!(n1 > n0, "ILU(1) must add fill: {n1} vs {n0}");
+        assert!(n2 >= n1);
+    }
+
+    #[test]
+    fn symbolic_level1_matches_bruteforce() {
+        // Brute force: fill(i,j) at level 1 exists iff ∃k < min(i,j) with
+        // A(i,k) and A(k,j) nonzero (for a symmetric pattern).
+        let a = mesh_matrix(2);
+        let n = a.nrows();
+        let has = |i: usize, j: u32| a.find(i, j).is_some();
+        let p1 = symbolic_iluk(&a, 1);
+        for i in 0..n {
+            for j in 0..n as u32 {
+                let expect = has(i, j)
+                    || (0..(i.min(j as usize)))
+                        .any(|k| has(i, k as u32) && has(k, j));
+                let got = p1[i].binary_search(&j).is_ok();
+                assert_eq!(got, expect, "fill({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn high_fill_converges_to_exact_lu() {
+        // With enough fill ILU(k) becomes complete LU: exact solve.
+        let a = mesh_matrix(3);
+        let f = iluk(&a, 20);
+        let n = a.dim();
+        let xref: Vec<f64> = (0..n).map(|i| (i as f64 * 0.11).cos()).collect();
+        let mut b = vec![0.0; n];
+        a.spmv(&xref, &mut b);
+        let x = trsv::solve(&f, &b);
+        for i in 0..n {
+            assert!((x[i] - xref[i]).abs() < 1e-7, "i={i}");
+        }
+    }
+
+    #[test]
+    fn ilu_residual_small_for_dominant_matrix() {
+        // ILU(0) as a preconditioner: || I - (LU)^{-1} A || should be
+        // well below 1 for a diagonally dominant matrix. Check the action
+        // on a few vectors.
+        let a = mesh_matrix(4);
+        let f = ilu0(&a);
+        let n = a.dim();
+        for s in 0..3 {
+            let x: Vec<f64> = (0..n).map(|i| ((i + s) as f64 * 0.17).sin()).collect();
+            let mut ax = vec![0.0; n];
+            a.spmv(&x, &mut ax);
+            let y = trsv::solve(&f, &ax); // y ≈ x
+            let err: f64 = x
+                .iter()
+                .zip(&y)
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum::<f64>()
+                .sqrt();
+            let norm: f64 = x.iter().map(|v| v * v).sum::<f64>().sqrt();
+            assert!(err < 0.5 * norm, "preconditioner too weak: {err} vs {norm}");
+        }
+    }
+
+    #[test]
+    fn iluk_on_small_dense_pattern_equals_dense_lu_solve() {
+        // 3 fully-coupled block rows: ILU(anything) = LU, so solving with
+        // the factors equals the dense solve.
+        let mut a = Bcsr4::from_pattern(&[
+            vec![0, 1, 2],
+            vec![0, 1, 2],
+            vec![0, 1, 2],
+        ]);
+        a.fill_diag_dominant(9);
+        let f = ilu0(&a);
+        let n = a.dim();
+        let b: Vec<f64> = (0..n).map(|i| 1.0 + (i % 3) as f64).collect();
+        let x1 = trsv::solve(&f, &b);
+        let x2 = dense::solve(&a.to_dense(), &b, n);
+        for i in 0..n {
+            assert!((x1[i] - x2[i]).abs() < 1e-9, "i={i}: {} vs {}", x1[i], x2[i]);
+        }
+    }
+}

@@ -1,0 +1,114 @@
+//! Block-sparse linear algebra: the PETSc substrate.
+//!
+//! PETSc-FUN3D stores its Jacobian in **block CSR** with 4×4 blocks (one
+//! block per vertex pair, 4 unknowns per vertex), which the 1999 papers
+//! [2,3] showed is crucial: coalesced loads (a 4×4 f64 block spans exactly
+//! two cache lines), amortized index arithmetic, lower bandwidth pressure.
+//! On top of the storage this crate implements the paper's "sparse,
+//! narrow-band recurrence" kernels and both of their parallelization
+//! strategies:
+//!
+//! * [`ilu`] — ILU(0) and ILU(k) factorization with the fill pattern
+//!   computed symbolically, diagonal blocks inverted and stored (PETSc's
+//!   layout optimization [17]), and the paper's compressed-temporary-
+//!   buffer optimization;
+//! * [`trsv`] — block forward/backward substitution;
+//! * [`levels`] — level scheduling (Anderson & Saad [24], Naumov [25]):
+//!   execute the dependency DAG level by level with a barrier per level;
+//! * [`p2p`] — sparsified point-to-point synchronization (Park et al.
+//!   [26]): approximate transitive reduction of cross-thread dependency
+//!   edges, then spin on per-row done-flags instead of barriers;
+//! * [`dag`] — the paper's *available parallelism* metric: total flops
+//!   divided by flops along the critical path (Table II: 248× for ILU-0
+//!   vs 60× for ILU-1 on Mesh-C).
+
+pub mod bcsr;
+pub mod block;
+pub mod csr;
+pub mod dag;
+pub mod ilu;
+pub mod levels;
+pub mod p2p;
+pub mod trsv;
+
+pub use bcsr::Bcsr4;
+pub use block::{Block4, BLOCK_DIM, BLOCK_LEN};
+pub use dag::DagStats;
+pub use ilu::{IluFactors, TempBuffer};
+pub use levels::LevelSchedule;
+pub use p2p::P2pSchedule;
+
+/// Dense helpers shared by tests in this crate and by the solver crate's
+/// reference checks.
+pub mod dense {
+    /// Solves the dense system `a x = b` (n×n row-major) by Gaussian
+    /// elimination with partial pivoting. Panics on singular input.
+    pub fn solve(a: &[f64], b: &[f64], n: usize) -> Vec<f64> {
+        assert_eq!(a.len(), n * n);
+        assert_eq!(b.len(), n);
+        let mut m = a.to_vec();
+        let mut x = b.to_vec();
+        for col in 0..n {
+            // pivot
+            let mut piv = col;
+            for r in col + 1..n {
+                if m[r * n + col].abs() > m[piv * n + col].abs() {
+                    piv = r;
+                }
+            }
+            assert!(m[piv * n + col].abs() > 1e-300, "singular matrix");
+            if piv != col {
+                for c in 0..n {
+                    m.swap(col * n + c, piv * n + c);
+                }
+                x.swap(col, piv);
+            }
+            let d = m[col * n + col];
+            for r in col + 1..n {
+                let f = m[r * n + col] / d;
+                if f == 0.0 {
+                    continue;
+                }
+                for c in col..n {
+                    m[r * n + c] -= f * m[col * n + c];
+                }
+                x[r] -= f * x[col];
+            }
+        }
+        for col in (0..n).rev() {
+            x[col] /= m[col * n + col];
+            for r in 0..col {
+                x[r] -= m[r * n + col] * x[col];
+            }
+        }
+        x
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn solves_identity() {
+            let a = vec![1.0, 0.0, 0.0, 1.0];
+            let b = vec![3.0, 4.0];
+            assert_eq!(solve(&a, &b, 2), b);
+        }
+
+        #[test]
+        fn solves_2x2() {
+            let a = vec![2.0, 1.0, 1.0, 3.0];
+            let x = solve(&a, &[5.0, 10.0], 2);
+            assert!((x[0] - 1.0).abs() < 1e-12);
+            assert!((x[1] - 3.0).abs() < 1e-12);
+        }
+
+        #[test]
+        fn pivoting_handles_zero_diagonal() {
+            let a = vec![0.0, 1.0, 1.0, 0.0];
+            let x = solve(&a, &[2.0, 3.0], 2);
+            assert!((x[0] - 3.0).abs() < 1e-12);
+            assert!((x[1] - 2.0).abs() < 1e-12);
+        }
+    }
+}

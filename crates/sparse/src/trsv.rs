@@ -1,0 +1,141 @@
+//! Block sparse triangular solves.
+//!
+//! `solve` applies `x = U⁻¹ L⁻¹ b` with the stored inverted diagonals:
+//! the forward sweep has an implied unit diagonal, the backward sweep
+//! multiplies by `D⁻¹` instead of dividing — the PETSc data-layout
+//! optimization [17]. The per-block kernel is a 4×4 matvec with no reuse
+//! across blocks (streaming), which is why the paper's TRSV is bandwidth-
+//! bound and reaches 94% of STREAM when parallelized with P2P sync.
+
+use crate::block;
+use crate::ilu::IluFactors;
+
+/// Serial forward substitution: `y = L⁻¹ b` (unit diagonal).
+pub fn forward(f: &IluFactors, b: &[f64], y: &mut [f64]) {
+    let n = f.nrows();
+    assert_eq!(b.len(), n * 4);
+    assert_eq!(y.len(), n * 4);
+    for i in 0..n {
+        let mut acc: [f64; 4] = b[i * 4..i * 4 + 4].try_into().unwrap();
+        for k in f.l.row_ptr[i]..f.l.row_ptr[i + 1] {
+            let j = f.l.col_idx[k] as usize;
+            let xj: &[f64; 4] = y[j * 4..j * 4 + 4].try_into().unwrap();
+            block::matvec_sub_simd(f.l.block(k), xj, &mut acc);
+        }
+        y[i * 4..i * 4 + 4].copy_from_slice(&acc);
+    }
+}
+
+/// Serial backward substitution: `x = U⁻¹ y`, using the stored `D⁻¹`.
+pub fn backward(f: &IluFactors, y: &[f64], x: &mut [f64]) {
+    let n = f.nrows();
+    assert_eq!(y.len(), n * 4);
+    assert_eq!(x.len(), n * 4);
+    for i in (0..n).rev() {
+        let mut acc: [f64; 4] = y[i * 4..i * 4 + 4].try_into().unwrap();
+        for k in f.u.row_ptr[i]..f.u.row_ptr[i + 1] {
+            let j = f.u.col_idx[k] as usize;
+            let xj: &[f64; 4] = x[j * 4..j * 4 + 4].try_into().unwrap();
+            block::matvec_sub_simd(f.u.block(k), xj, &mut acc);
+        }
+        let mut out = [0.0f64; 4];
+        block::matvec_acc(f.dinv_block(i), &acc, &mut out);
+        x[i * 4..i * 4 + 4].copy_from_slice(&out);
+    }
+}
+
+/// Full preconditioner application `x = (LU)⁻¹ b`.
+pub fn solve(f: &IluFactors, b: &[f64]) -> Vec<f64> {
+    let mut y = vec![0.0; b.len()];
+    forward(f, b, &mut y);
+    let mut x = vec![0.0; b.len()];
+    backward(f, &y, &mut x);
+    x
+}
+
+/// In-place variant writing into caller-provided buffers (no allocation
+/// in the solver hot loop).
+pub fn solve_into(f: &IluFactors, b: &[f64], scratch: &mut [f64], x: &mut [f64]) {
+    forward(f, b, scratch);
+    backward(f, scratch, x);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bcsr::Bcsr4;
+    use crate::ilu;
+
+    #[test]
+    fn forward_solves_lower_system() {
+        // Random lower-triangular block system built via ILU of a
+        // tridiagonal matrix; verify L y = b by applying L back.
+        let edges: Vec<[u32; 2]> = (0..5).map(|i| [i, i + 1]).collect();
+        let mut a = Bcsr4::from_edges(6, &edges);
+        a.fill_diag_dominant(21);
+        let f = ilu::ilu0(&a);
+        let n = f.nrows() * 4;
+        let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.7).sin()).collect();
+        let mut y = vec![0.0; n];
+        forward(&f, &b, &mut y);
+        // apply L (unit diag): r_i = y_i + Σ L_ij y_j must equal b
+        for i in 0..f.nrows() {
+            let mut acc: [f64; 4] = y[i * 4..i * 4 + 4].try_into().unwrap();
+            for k in f.l.row_ptr[i]..f.l.row_ptr[i + 1] {
+                let j = f.l.col_idx[k] as usize;
+                let yj: &[f64; 4] = y[j * 4..j * 4 + 4].try_into().unwrap();
+                crate::block::matvec_acc(f.l.block(k), yj, &mut acc);
+            }
+            for c in 0..4 {
+                assert!((acc[c] - b[i * 4 + c]).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn backward_solves_upper_system() {
+        let edges: Vec<[u32; 2]> = (0..5).map(|i| [i, i + 1]).collect();
+        let mut a = Bcsr4::from_edges(6, &edges);
+        a.fill_diag_dominant(22);
+        let f = ilu::ilu0(&a);
+        let n = f.nrows() * 4;
+        let y: Vec<f64> = (0..n).map(|i| (i as f64 * 0.3).cos()).collect();
+        let mut x = vec![0.0; n];
+        backward(&f, &y, &mut x);
+        // apply U (D + strict upper): r_i = D_i x_i + Σ U_ij x_j == y
+        for i in 0..f.nrows() {
+            let d = crate::block::invert(f.dinv_block(i)).unwrap();
+            let xi: &[f64; 4] = x[i * 4..i * 4 + 4].try_into().unwrap();
+            let mut acc = [0.0f64; 4];
+            crate::block::matvec_acc(&d, xi, &mut acc);
+            for k in f.u.row_ptr[i]..f.u.row_ptr[i + 1] {
+                let j = f.u.col_idx[k] as usize;
+                let xj: &[f64; 4] = x[j * 4..j * 4 + 4].try_into().unwrap();
+                crate::block::matvec_acc(f.u.block(k), xj, &mut acc);
+            }
+            for c in 0..4 {
+                assert!(
+                    (acc[c] - y[i * 4 + c]).abs() < 1e-9,
+                    "row {i} comp {c}: {} vs {}",
+                    acc[c],
+                    y[i * 4 + c]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn solve_into_matches_solve() {
+        let edges: Vec<[u32; 2]> = (0..7).map(|i| [i, i + 1]).collect();
+        let mut a = Bcsr4::from_edges(8, &edges);
+        a.fill_diag_dominant(23);
+        let f = ilu::ilu0(&a);
+        let n = f.nrows() * 4;
+        let b: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let x1 = solve(&f, &b);
+        let mut scratch = vec![0.0; n];
+        let mut x2 = vec![0.0; n];
+        solve_into(&f, &b, &mut scratch, &mut x2);
+        assert_eq!(x1, x2);
+    }
+}

@@ -1,0 +1,128 @@
+//! Atomic accumulation into shared `f64` arrays.
+//!
+//! The paper's first edge-loop strategy ("Basic partitioning with
+//! atomics") lets every thread update any vertex, resolving the
+//! write-write races with atomic adds. x86 has no atomic f64 add, so —
+//! exactly like an OpenMP `atomic` on a double — each add is a
+//! compare-exchange loop on the 64-bit bit pattern.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A view of a mutable `f64` slice that permits concurrent atomic updates.
+///
+/// Constructed from an exclusive borrow, so for the view's lifetime the
+/// atomics are the only access path — the reinterpretation is sound
+/// because `AtomicU64` has the same size/alignment as `f64` and the borrow
+/// checker keeps plain accesses out until the view is dropped.
+pub struct AtomicF64View<'a> {
+    cells: &'a [AtomicU64],
+}
+
+impl<'a> AtomicF64View<'a> {
+    /// Wraps a mutable slice for the duration of a parallel region.
+    pub fn new(xs: &'a mut [f64]) -> Self {
+        // SAFETY: f64 and AtomicU64 are both 8 bytes with 8-byte alignment
+        // on all supported targets; we hold the unique &mut borrow, so no
+        // non-atomic access can alias the cells while the view lives.
+        let cells = unsafe { &*(xs as *mut [f64] as *const [AtomicU64]) };
+        AtomicF64View { cells }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// True when the view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Atomically `x[i] += v` via a CAS loop. Returns the number of CAS
+    /// retries (0 when uncontended), which the machine model uses to
+    /// account for contention.
+    #[inline]
+    pub fn fetch_add(&self, i: usize, v: f64) -> u32 {
+        let cell = &self.cells[i];
+        let mut retries = 0;
+        let mut cur = cell.load(Ordering::Relaxed);
+        loop {
+            let new = f64::to_bits(f64::from_bits(cur) + v);
+            match cell.compare_exchange_weak(cur, new, Ordering::Relaxed, Ordering::Relaxed) {
+                Ok(_) => return retries,
+                Err(actual) => {
+                    cur = actual;
+                    retries += 1;
+                }
+            }
+        }
+    }
+
+    /// Atomic read of element `i`.
+    #[inline]
+    pub fn load(&self, i: usize) -> f64 {
+        f64::from_bits(self.cells[i].load(Ordering::Relaxed))
+    }
+
+    /// Atomic store of element `i`.
+    #[inline]
+    pub fn store(&self, i: usize, v: f64) {
+        self.cells[i].store(f64::to_bits(v), Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ThreadPool;
+
+    #[test]
+    fn single_thread_add() {
+        let mut xs = vec![1.0, 2.0];
+        {
+            let view = AtomicF64View::new(&mut xs);
+            view.fetch_add(0, 0.5);
+            view.fetch_add(1, -2.0);
+            assert_eq!(view.load(0), 1.5);
+        }
+        assert_eq!(xs, vec![1.5, 0.0]);
+    }
+
+    #[test]
+    fn store_and_len() {
+        let mut xs = vec![0.0; 3];
+        let view = AtomicF64View::new(&mut xs);
+        view.store(2, 7.0);
+        assert_eq!(view.load(2), 7.0);
+        assert_eq!(view.len(), 3);
+        assert!(!view.is_empty());
+    }
+
+    #[test]
+    fn concurrent_adds_sum_exactly() {
+        // Adding integers (exactly representable) from many threads must
+        // lose nothing: atomicity check.
+        let pool = ThreadPool::new(4);
+        let mut xs = vec![0.0f64; 8];
+        {
+            let view = AtomicF64View::new(&mut xs);
+            pool.run(|_tid| {
+                for k in 0..1000 {
+                    view.fetch_add(k % 8, 1.0);
+                }
+            });
+        }
+        let total: f64 = xs.iter().sum();
+        assert_eq!(total, 4.0 * 1000.0);
+        for &x in &xs {
+            assert_eq!(x, 500.0);
+        }
+    }
+
+    #[test]
+    fn empty_view() {
+        let mut xs: Vec<f64> = Vec::new();
+        let view = AtomicF64View::new(&mut xs);
+        assert!(view.is_empty());
+    }
+}

@@ -1,0 +1,76 @@
+//! Shared-memory threading runtime for the FUN3D kernels.
+//!
+//! This crate replaces the OpenMP runtime the paper used. It provides the
+//! exact scheduling ingredients the paper's strategies need:
+//!
+//! * a persistent [`ThreadPool`] whose workers execute SPMD regions
+//!   (`f(tid)` on every thread, like an `omp parallel` region),
+//! * static range chunking ([`chunk_range`]) for "basic partitioning",
+//! * a spinning sense-reversing [`SpinBarrier`] for level-scheduled sparse
+//!   recurrences (barrier after each level),
+//! * point-to-point synchronization cells ([`p2p::DoneFlags`]) for the
+//!   sparsified-synchronization TRSV/ILU of Park et al. [26],
+//! * atomic `f64` accumulation ([`atomicf64`]) for the
+//!   "basic partitioning with atomics" edge-loop strategy.
+
+pub mod atomicf64;
+pub mod barrier;
+pub mod p2p;
+pub mod pool;
+
+pub use atomicf64::AtomicF64View;
+pub use barrier::SpinBarrier;
+pub use p2p::DoneFlags;
+pub use pool::ThreadPool;
+
+/// Splits `0..n` into `nthreads` near-equal contiguous chunks and returns
+/// chunk `tid` as a half-open range. The first `n % nthreads` chunks get
+/// one extra element, so sizes differ by at most one.
+pub fn chunk_range(n: usize, nthreads: usize, tid: usize) -> std::ops::Range<usize> {
+    assert!(nthreads > 0 && tid < nthreads);
+    let base = n / nthreads;
+    let extra = n % nthreads;
+    let start = tid * base + tid.min(extra);
+    let len = base + usize::from(tid < extra);
+    start..(start + len).min(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunks_cover_range_exactly() {
+        for n in [0usize, 1, 7, 64, 1000, 1001] {
+            for t in [1usize, 2, 3, 7, 16] {
+                let mut covered = 0usize;
+                let mut prev_end = 0usize;
+                for tid in 0..t {
+                    let r = chunk_range(n, t, tid);
+                    assert_eq!(r.start, prev_end, "chunks must be contiguous");
+                    prev_end = r.end;
+                    covered += r.len();
+                }
+                assert_eq!(prev_end, n);
+                assert_eq!(covered, n);
+            }
+        }
+    }
+
+    #[test]
+    fn chunks_balanced_within_one() {
+        for n in [10usize, 11, 99] {
+            let t = 4;
+            let sizes: Vec<usize> = (0..t).map(|tid| chunk_range(n, t, tid).len()).collect();
+            let min = *sizes.iter().min().unwrap();
+            let max = *sizes.iter().max().unwrap();
+            assert!(max - min <= 1);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn tid_out_of_range_panics() {
+        chunk_range(10, 2, 2);
+    }
+}

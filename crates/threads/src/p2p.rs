@@ -1,0 +1,146 @@
+//! Point-to-point completion flags.
+//!
+//! The sparsified-synchronization triangular solver (Park et al. [26],
+//! used by the paper for both TRSV and ILU) replaces per-level barriers
+//! with fine-grained dependencies: a consumer row spins until each of its
+//! (sparsified) producer rows has published completion. [`DoneFlags`] is
+//! that mechanism — one epoch-tagged flag per task, `publish` with Release
+//! and `wait_for` with Acquire so the produced data is visible.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// One completion flag per task, tagged with an epoch so the structure is
+/// reusable across solves without clearing (clearing would itself need a
+/// barrier).
+pub struct DoneFlags {
+    flags: Vec<AtomicU64>,
+    epoch: u64,
+}
+
+impl DoneFlags {
+    /// Creates flags for `n` tasks, all unpublished.
+    pub fn new(n: usize) -> Self {
+        DoneFlags {
+            flags: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            epoch: 1,
+        }
+    }
+
+    /// Number of tasks.
+    pub fn len(&self) -> usize {
+        self.flags.len()
+    }
+
+    /// True when there are no tasks.
+    pub fn is_empty(&self) -> bool {
+        self.flags.is_empty()
+    }
+
+    /// Starts a new solve: all tasks become unpublished in O(1).
+    /// Requires external synchronization (call between parallel regions).
+    pub fn next_epoch(&mut self) {
+        self.epoch += 1;
+    }
+
+    /// Current epoch (used by tests).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Marks task `i` complete for the current epoch (Release: makes the
+    /// task's writes visible to waiters).
+    #[inline]
+    pub fn publish(&self, i: usize) {
+        self.flags[i].store(self.epoch, Ordering::Release);
+    }
+
+    /// True if task `i` has completed in the current epoch.
+    #[inline]
+    pub fn is_done(&self, i: usize) -> bool {
+        self.flags[i].load(Ordering::Acquire) == self.epoch
+    }
+
+    /// Spins until task `i` completes in the current epoch.
+    #[inline]
+    pub fn wait_for(&self, i: usize) {
+        let mut spins = 0u32;
+        while self.flags[i].load(Ordering::Acquire) != self.epoch {
+            spins = spins.wrapping_add(1);
+            if spins % 64 == 0 {
+                std::thread::yield_now();
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ThreadPool;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn publish_then_done() {
+        let flags = DoneFlags::new(4);
+        assert!(!flags.is_done(2));
+        flags.publish(2);
+        assert!(flags.is_done(2));
+        assert!(!flags.is_done(0));
+    }
+
+    #[test]
+    fn epoch_reset_clears_all() {
+        let mut flags = DoneFlags::new(3);
+        flags.publish(0);
+        flags.publish(1);
+        flags.publish(2);
+        flags.next_epoch();
+        assert!(!flags.is_done(0));
+        assert!(!flags.is_done(1));
+        assert!(!flags.is_done(2));
+        flags.publish(1);
+        assert!(flags.is_done(1));
+    }
+
+    #[test]
+    fn wait_for_sees_producer_writes() {
+        // Producer writes data then publishes; consumer waits then reads.
+        let pool = ThreadPool::new(2);
+        let flags = DoneFlags::new(1);
+        let data = AtomicUsize::new(0);
+        let observed = AtomicUsize::new(0);
+        pool.run(|tid| {
+            if tid == 0 {
+                data.store(42, Ordering::Relaxed);
+                flags.publish(0);
+            } else {
+                flags.wait_for(0);
+                observed.store(data.load(Ordering::Relaxed), Ordering::SeqCst);
+            }
+        });
+        assert_eq!(observed.load(Ordering::SeqCst), 42);
+    }
+
+    #[test]
+    fn chain_of_dependencies() {
+        // Task i waits for i-1; order of completion must be 0..n.
+        let n = 8;
+        let pool = ThreadPool::new(4);
+        let flags = DoneFlags::new(n);
+        let order = std::sync::Mutex::new(Vec::new());
+        pool.run(|tid| {
+            // Static cyclic assignment of tasks to threads.
+            for task in (0..n).filter(|t| t % 4 == tid) {
+                if task > 0 {
+                    flags.wait_for(task - 1);
+                }
+                order.lock().unwrap().push(task);
+                flags.publish(task);
+            }
+        });
+        let order = order.into_inner().unwrap();
+        assert_eq!(order, (0..n).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,251 @@
+//! A persistent SPMD thread pool.
+//!
+//! [`ThreadPool::run`] executes one closure on every worker, passing the
+//! worker id, and returns when all workers have finished — the same
+//! execution model as an OpenMP `parallel` region, which is what all of the
+//! paper's threading strategies are written against. Workers are created
+//! once and reused, so a `run` costs two channel messages per worker rather
+//! than a thread spawn.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// Type-erased SPMD region: called as `job(tid)`.
+type Job = Arc<dyn Fn(usize) + Send + Sync>;
+
+struct Shared {
+    remaining: Mutex<usize>,
+    all_done: Condvar,
+    panicked: AtomicBool,
+}
+
+/// A fixed-size pool of persistent worker threads executing SPMD regions.
+pub struct ThreadPool {
+    senders: Vec<Sender<Job>>,
+    handles: Vec<JoinHandle<()>>,
+    shared: Arc<Shared>,
+    size: usize,
+}
+
+impl ThreadPool {
+    /// Spawns a pool with `size` workers (`size >= 1`).
+    pub fn new(size: usize) -> Self {
+        assert!(size >= 1, "thread pool needs at least one worker");
+        let shared = Arc::new(Shared {
+            remaining: Mutex::new(0),
+            all_done: Condvar::new(),
+            panicked: AtomicBool::new(false),
+        });
+        let mut senders = Vec::with_capacity(size);
+        let mut handles = Vec::with_capacity(size);
+        for tid in 0..size {
+            let (tx, rx): (Sender<Job>, Receiver<Job>) = channel();
+            senders.push(tx);
+            let shared = Arc::clone(&shared);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("fun3d-worker-{tid}"))
+                    .spawn(move || {
+                        while let Ok(job) = rx.recv() {
+                            let outcome = catch_unwind(AssertUnwindSafe(|| job(tid)));
+                            if outcome.is_err() {
+                                shared.panicked.store(true, Ordering::SeqCst);
+                            }
+                            let mut remaining = shared.remaining.lock().unwrap();
+                            *remaining -= 1;
+                            if *remaining == 0 {
+                                shared.all_done.notify_all();
+                            }
+                        }
+                    })
+                    .expect("spawn pool worker"),
+            );
+        }
+        ThreadPool {
+            senders,
+            handles,
+            shared,
+            size,
+        }
+    }
+
+    /// Number of workers.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Runs `f(tid)` on every worker and blocks until all have returned.
+    ///
+    /// The closure may borrow stack data: `run` does not return until every
+    /// worker has finished executing it, so the borrow cannot outlive the
+    /// data (the same argument scoped threads rely on).
+    ///
+    /// # Panics
+    /// Panics (after all workers finished the region) if any worker
+    /// panicked inside `f`.
+    pub fn run<'env, F>(&self, f: F)
+    where
+        F: Fn(usize) + Send + Sync + 'env,
+    {
+        {
+            let mut remaining = self.shared.remaining.lock().unwrap();
+            assert_eq!(*remaining, 0, "ThreadPool::run is not reentrant");
+            *remaining = self.size;
+        }
+        self.shared.panicked.store(false, Ordering::SeqCst);
+
+        // Erase the closure's lifetime so it can be shipped to the workers.
+        // SAFETY: we block below until `remaining == 0`, i.e. until every
+        // worker has dropped its use of the closure, so the borrowed
+        // environment outlives all uses. The Arc itself may live longer in
+        // a worker's channel only between jobs, but each worker receives
+        // its own clone and drops it right after the call; the final
+        // `wait` ensures no call is in flight when we return.
+        let job: Job = unsafe {
+            std::mem::transmute::<
+                Arc<dyn Fn(usize) + Send + Sync + 'env>,
+                Arc<dyn Fn(usize) + Send + Sync + 'static>,
+            >(Arc::new(f))
+        };
+        for tx in &self.senders {
+            tx.send(Arc::clone(&job)).expect("worker thread is alive");
+        }
+        drop(job);
+
+        let mut remaining = self.shared.remaining.lock().unwrap();
+        while *remaining != 0 {
+            remaining = self.shared.all_done.wait(remaining).unwrap();
+        }
+        drop(remaining);
+        if self.shared.panicked.swap(false, Ordering::SeqCst) {
+            panic!("a pool worker panicked inside ThreadPool::run");
+        }
+    }
+
+    /// Static-chunked parallel loop: each worker handles
+    /// `chunk_range(n, size, tid)` through `body(tid, range)`.
+    pub fn parallel_for<'env, F>(&self, n: usize, body: F)
+    where
+        F: Fn(usize, std::ops::Range<usize>) + Send + Sync + 'env,
+    {
+        let size = self.size;
+        self.run(move |tid| body(tid, crate::chunk_range(n, size, tid)));
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.senders.clear(); // disconnect channels; workers exit recv loop
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn runs_on_every_worker() {
+        let pool = ThreadPool::new(4);
+        let hits = AtomicUsize::new(0);
+        pool.run(|_tid| {
+            hits.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(hits.load(Ordering::SeqCst), 4);
+    }
+
+    #[test]
+    fn tids_are_distinct() {
+        let pool = ThreadPool::new(8);
+        let mask = AtomicUsize::new(0);
+        pool.run(|tid| {
+            mask.fetch_or(1 << tid, Ordering::SeqCst);
+        });
+        assert_eq!(mask.load(Ordering::SeqCst), 0xFF);
+    }
+
+    #[test]
+    fn borrows_stack_data() {
+        let pool = ThreadPool::new(3);
+        let data: Vec<usize> = (0..300).collect();
+        let sum = AtomicUsize::new(0);
+        pool.parallel_for(data.len(), |_tid, range| {
+            let local: usize = data[range].iter().sum();
+            sum.fetch_add(local, Ordering::SeqCst);
+        });
+        assert_eq!(sum.load(Ordering::SeqCst), 300 * 299 / 2);
+    }
+
+    #[test]
+    fn reusable_across_many_runs() {
+        let pool = ThreadPool::new(2);
+        let count = AtomicUsize::new(0);
+        for _ in 0..50 {
+            pool.run(|_| {
+                count.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        assert_eq!(count.load(Ordering::SeqCst), 100);
+    }
+
+    #[test]
+    fn mutates_disjoint_slices() {
+        let pool = ThreadPool::new(4);
+        let mut data = vec![0.0f64; 1000];
+        {
+            let cell = std::sync::Mutex::new(&mut data);
+            // Simpler pattern used by the kernels: split the buffer first.
+            let mut guard = cell.lock().unwrap();
+            let chunks: Vec<&mut [f64]> = guard.chunks_mut(250).collect();
+            let chunks = std::sync::Mutex::new(chunks);
+            pool.run(|tid| {
+                let chunk = {
+                    let mut c = chunks.lock().unwrap();
+                    std::mem::take(&mut c[tid])
+                };
+                for x in chunk {
+                    *x = tid as f64 + 1.0;
+                }
+            });
+        }
+        assert!(data[..250].iter().all(|&x| x == 1.0));
+        assert!(data[750..].iter().all(|&x| x == 4.0));
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let pool = ThreadPool::new(2);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.run(|tid| {
+                if tid == 1 {
+                    panic!("boom");
+                }
+            });
+        }));
+        assert!(result.is_err());
+        // Pool remains usable after a panic.
+        let ok = AtomicUsize::new(0);
+        pool.run(|_| {
+            ok.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(ok.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn single_worker_pool() {
+        let pool = ThreadPool::new(1);
+        let hits = AtomicUsize::new(0);
+        pool.parallel_for(10, |tid, range| {
+            assert_eq!(tid, 0);
+            assert_eq!(range, 0..10);
+            hits.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(hits.load(Ordering::SeqCst), 1);
+    }
+}

@@ -1,0 +1,19 @@
+//! Shared utilities for the `fun3d-rs` workspace.
+//!
+//! This crate provides the small, dependency-free building blocks used
+//! throughout the reproduction: wall-clock timers with named accumulating
+//! phases, summary statistics, a deterministic seedable RNG (so every
+//! experiment is reproducible bit-for-bit), cache-line aligned buffers for
+//! SIMD kernels, and plain-text/CSV report writers used by the benchmark
+//! harness.
+
+pub mod aligned;
+pub mod report;
+pub mod rng;
+pub mod stats;
+pub mod timer;
+
+pub use aligned::AlignedVec;
+pub use rng::Rng64;
+pub use stats::Summary;
+pub use timer::{PhaseTimers, Timer};

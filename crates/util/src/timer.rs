@@ -1,0 +1,230 @@
+//! Wall-clock timing and named accumulating phase timers.
+//!
+//! The paper's profiles (Fig. 5, Fig. 8b) break the application into named
+//! kernels — flux, gradient, Jacobian assembly, ILU, TRSV, vector
+//! primitives, scatter — and report per-kernel times and fractions.
+//! [`PhaseTimers`] is the instrument used for that: each kernel start/stop
+//! accumulates into a named bucket, and a report lists times, call counts
+//! and percentage of the total.
+
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+/// A simple one-shot stopwatch.
+#[derive(Clone, Copy, Debug)]
+pub struct Timer {
+    start: Instant,
+}
+
+impl Timer {
+    /// Starts the timer now.
+    pub fn start() -> Self {
+        Timer {
+            start: Instant::now(),
+        }
+    }
+
+    /// Elapsed time since [`Timer::start`].
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    /// Elapsed seconds as `f64`.
+    pub fn seconds(&self) -> f64 {
+        self.elapsed().as_secs_f64()
+    }
+}
+
+impl Default for Timer {
+    fn default() -> Self {
+        Timer::start()
+    }
+}
+
+#[derive(Clone, Copy, Debug, Default)]
+struct Bucket {
+    total: Duration,
+    calls: u64,
+}
+
+/// Named accumulating timers, one bucket per application kernel.
+///
+/// Buckets are created on first use. The ordering of
+/// [`PhaseTimers::entries`] is by descending total time so reports read
+/// like a profile.
+#[derive(Clone, Debug, Default)]
+pub struct PhaseTimers {
+    buckets: HashMap<&'static str, Bucket>,
+}
+
+/// RAII guard returned by [`PhaseTimers::scope`]; not `Copy` on purpose —
+/// dropping it stops the clock.
+pub struct PhaseGuard<'a> {
+    timers: &'a mut PhaseTimers,
+    name: &'static str,
+    start: Instant,
+}
+
+impl Drop for PhaseGuard<'_> {
+    fn drop(&mut self) {
+        self.timers.add(self.name, self.start.elapsed());
+    }
+}
+
+impl PhaseTimers {
+    /// An empty profile.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `dur` to the named bucket and bumps its call count.
+    pub fn add(&mut self, name: &'static str, dur: Duration) {
+        let b = self.buckets.entry(name).or_default();
+        b.total += dur;
+        b.calls += 1;
+    }
+
+    /// Times the closure and accumulates into `name`, passing through its
+    /// return value.
+    pub fn time<T>(&mut self, name: &'static str, f: impl FnOnce() -> T) -> T {
+        let t = Instant::now();
+        let out = f();
+        self.add(name, t.elapsed());
+        out
+    }
+
+    /// Starts a scope that stops when the returned guard is dropped.
+    pub fn scope(&mut self, name: &'static str) -> PhaseGuard<'_> {
+        PhaseGuard {
+            name,
+            start: Instant::now(),
+            timers: self,
+        }
+    }
+
+    /// Total seconds accumulated in `name` (0 if absent).
+    pub fn seconds(&self, name: &str) -> f64 {
+        self.buckets
+            .get(name)
+            .map(|b| b.total.as_secs_f64())
+            .unwrap_or(0.0)
+    }
+
+    /// Call count for `name` (0 if absent).
+    pub fn calls(&self, name: &str) -> u64 {
+        self.buckets.get(name).map(|b| b.calls).unwrap_or(0)
+    }
+
+    /// Sum of all buckets, in seconds.
+    pub fn total_seconds(&self) -> f64 {
+        self.buckets.values().map(|b| b.total.as_secs_f64()).sum()
+    }
+
+    /// `(name, seconds, calls)` sorted by descending time.
+    pub fn entries(&self) -> Vec<(&'static str, f64, u64)> {
+        let mut v: Vec<_> = self
+            .buckets
+            .iter()
+            .map(|(&k, b)| (k, b.total.as_secs_f64(), b.calls))
+            .collect();
+        v.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(b.0)));
+        v
+    }
+
+    /// Merges another profile into this one (used to combine per-thread or
+    /// per-rank profiles).
+    pub fn merge(&mut self, other: &PhaseTimers) {
+        for (&k, b) in &other.buckets {
+            let mine = self.buckets.entry(k).or_default();
+            mine.total += b.total;
+            mine.calls += b.calls;
+        }
+    }
+
+    /// Renders a profile table: name, seconds, % of total, calls.
+    pub fn report(&self) -> String {
+        let total = self.total_seconds().max(1e-300);
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<24} {:>12} {:>7} {:>10}\n",
+            "phase", "seconds", "%", "calls"
+        ));
+        for (name, secs, calls) in self.entries() {
+            out.push_str(&format!(
+                "{:<24} {:>12.6} {:>6.1}% {:>10}\n",
+                name,
+                secs,
+                100.0 * secs / total,
+                calls
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates_time_and_calls() {
+        let mut p = PhaseTimers::new();
+        p.add("flux", Duration::from_millis(30));
+        p.add("flux", Duration::from_millis(20));
+        p.add("trsv", Duration::from_millis(50));
+        assert_eq!(p.calls("flux"), 2);
+        assert_eq!(p.calls("trsv"), 1);
+        assert!((p.seconds("flux") - 0.05).abs() < 1e-9);
+        assert!((p.total_seconds() - 0.10).abs() < 1e-9);
+    }
+
+    #[test]
+    fn time_closure_returns_value() {
+        let mut p = PhaseTimers::new();
+        let x = p.time("work", || 41 + 1);
+        assert_eq!(x, 42);
+        assert_eq!(p.calls("work"), 1);
+    }
+
+    #[test]
+    fn scope_guard_records_on_drop() {
+        let mut p = PhaseTimers::new();
+        {
+            let _g = p.scope("scoped");
+            std::hint::black_box(());
+        }
+        assert_eq!(p.calls("scoped"), 1);
+    }
+
+    #[test]
+    fn entries_sorted_by_time_desc() {
+        let mut p = PhaseTimers::new();
+        p.add("a", Duration::from_millis(1));
+        p.add("b", Duration::from_millis(3));
+        p.add("c", Duration::from_millis(2));
+        let names: Vec<_> = p.entries().iter().map(|e| e.0).collect();
+        assert_eq!(names, vec!["b", "c", "a"]);
+    }
+
+    #[test]
+    fn merge_combines_buckets() {
+        let mut p = PhaseTimers::new();
+        p.add("x", Duration::from_millis(5));
+        let mut q = PhaseTimers::new();
+        q.add("x", Duration::from_millis(5));
+        q.add("y", Duration::from_millis(1));
+        p.merge(&q);
+        assert_eq!(p.calls("x"), 2);
+        assert!((p.seconds("x") - 0.010).abs() < 1e-9);
+        assert_eq!(p.calls("y"), 1);
+    }
+
+    #[test]
+    fn report_contains_all_phases() {
+        let mut p = PhaseTimers::new();
+        p.add("flux", Duration::from_millis(10));
+        p.add("ilu", Duration::from_millis(10));
+        let r = p.report();
+        assert!(r.contains("flux") && r.contains("ilu"));
+    }
+}

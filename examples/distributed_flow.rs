@@ -1,0 +1,73 @@
+//! The distributed nonlinear application end-to-end: the same wing-bump
+//! flow as `quickstart`, but solved by rank-parallel ΨNKS with real halo
+//! exchanges and allreduces (the execution model of the paper's
+//! multi-node study), and compared against the serial solution.
+//!
+//! ```sh
+//! cargo run --release --example distributed_flow
+//! ```
+
+use fun3d_cluster::dapp::{solve, GlobalSetup, RankApp};
+use fun3d_cluster::Universe;
+use fun3d_core::{Fun3dApp, FlowConditions, OptConfig};
+use fun3d_mesh::generator::MeshPreset;
+use fun3d_solver::ptc::PtcConfig;
+
+fn main() {
+    let mut mesh = MeshPreset::Small.build();
+    Fun3dApp::rcm_reorder(&mut mesh);
+    println!(
+        "mesh: {} vertices / {} edges",
+        mesh.nvertices(),
+        mesh.edges().len()
+    );
+
+    // serial reference
+    let mut app = Fun3dApp::new(mesh.clone(), FlowConditions::default(), OptConfig::baseline());
+    let (u_serial, s) = app.run(&PtcConfig {
+        dt0: 2.0,
+        rtol: 1e-8,
+        max_steps: 80,
+        ..Default::default()
+    });
+    println!(
+        "serial:      {} steps, {} linear iterations",
+        s.time_steps, s.linear_iters
+    );
+
+    for nranks in [2usize, 4] {
+        let setup = GlobalSetup::new(mesh.clone(), FlowConditions::default(), nranks);
+        let setup_ref = &setup;
+        let results = Universe::run(nranks, move |comm| {
+            let mut rank_app = RankApp::new(setup_ref, comm.rank());
+            let (u, stats) = solve(&comm, &mut rank_app, 2.0, 1e-8, 80, 1);
+            (rank_app.sub.owned.clone(), u, stats)
+        });
+        let mut u_dist = vec![0.0; mesh.nvertices() * 4];
+        let mut steps = 0;
+        let mut iters = 0;
+        for (owned, u, stats) in results {
+            assert!(stats.converged, "a rank failed to converge");
+            steps = stats.time_steps;
+            iters = stats.linear_iters;
+            for (l, &g) in owned.iter().enumerate() {
+                u_dist[g as usize * 4..g as usize * 4 + 4]
+                    .copy_from_slice(&u[l * 4..l * 4 + 4]);
+            }
+        }
+        let diff: f64 = u_serial
+            .iter()
+            .zip(&u_dist)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            .sqrt();
+        let norm: f64 = u_serial.iter().map(|v| v * v).sum::<f64>().sqrt();
+        println!(
+            "{nranks} ranks:     {steps} steps, {iters} linear iterations, \
+             |u_dist - u_serial|/|u| = {:.2e}",
+            diff / norm
+        );
+    }
+    println!("\nThe distributed solver walks the same pseudo-transient path and");
+    println!("lands on the same flow — through genuine message passing.");
+}

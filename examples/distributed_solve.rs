@@ -1,0 +1,71 @@
+//! Distributed solve demo: domain decomposition + in-process "MPI" ranks
+//! + block-Jacobi ILU GMRES, with the Schwarz convergence degradation
+//! the paper discusses made visible.
+//!
+//! ```sh
+//! cargo run --release --example distributed_solve
+//! ```
+
+use fun3d_cluster::dsolve::{gmres, DistSystem};
+use fun3d_cluster::{Decomposition, Universe};
+use fun3d_mesh::generator::MeshPreset;
+use fun3d_sparse::Bcsr4;
+
+fn main() {
+    // A block-sparse system on the mesh's vertex-neighbor pattern — the
+    // same shape as the first-order Jacobian.
+    let mesh = MeshPreset::Small.build();
+    let edges = mesh.edges();
+    let nv = mesh.nvertices();
+    let mut a = Bcsr4::from_edges(nv, &edges);
+    a.fill_diag_dominant(2024);
+    let n = a.dim();
+    let xref: Vec<f64> = (0..n).map(|i| (i as f64 * 0.13).sin()).collect();
+    let mut b = vec![0.0; n];
+    a.spmv(&xref, &mut b);
+    println!("system: {} block rows ({} unknowns), {} blocks\n", a.nrows(), n, a.nblocks());
+    println!("{:>6} {:>12} {:>12} {:>14}", "ranks", "iterations", "rel. error", "halo doubles");
+
+    for nranks in [1usize, 2, 4, 8] {
+        let decomp = Decomposition::build(nv, &edges, nranks);
+        let subs = decomp.subdomains.clone();
+        let a_ref = &a;
+        let b_ref = &b;
+        let results = Universe::run(nranks, move |comm| {
+            let sub = subs[comm.rank()].clone();
+            let halo = sub.halo_doubles();
+            let sys = DistSystem::new(a_ref, sub, 0);
+            let blocal: Vec<f64> = sys
+                .sub
+                .owned
+                .iter()
+                .flat_map(|&g| b_ref[g as usize * 4..g as usize * 4 + 4].to_vec())
+                .collect();
+            let mut x = vec![0.0; sys.nowned()];
+            let res = gmres(&comm, &sys, &blocal, &mut x, 30, 1e-10, 1000);
+            (sys.sub.owned.clone(), x, res.iterations, halo)
+        });
+
+        // stitch the global solution and evaluate the error
+        let mut xg = vec![0.0; n];
+        let mut iters = 0;
+        let mut halo_total = 0;
+        for (owned, x, it, halo) in results {
+            iters = it;
+            halo_total += halo;
+            for (l, &g) in owned.iter().enumerate() {
+                xg[g as usize * 4..g as usize * 4 + 4].copy_from_slice(&x[l * 4..l * 4 + 4]);
+            }
+        }
+        let err = xg
+            .iter()
+            .zip(&xref)
+            .map(|(p, q)| (p - q) * (p - q))
+            .sum::<f64>()
+            .sqrt()
+            / xref.iter().map(|v| v * v).sum::<f64>().sqrt();
+        println!("{nranks:>6} {iters:>12} {err:>12.2e} {halo_total:>14}");
+    }
+    println!("\nNote how iterations grow with subdomain count: the single-level");
+    println!("additive-Schwarz degradation behind the paper's +30% at 256 nodes.");
+}

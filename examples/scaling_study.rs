@@ -1,0 +1,52 @@
+//! Strong-scaling study: simulate the paper's 256-node Stampede sweep
+//! for all three execution styles from real decompositions of a local
+//! mesh plus the calibrated machine/network model.
+//!
+//! ```sh
+//! cargo run --release --example scaling_study
+//! ```
+
+use fun3d_cluster::scaling::{simulate_point, ExecStyle, ScalingConfig, SurfaceModel};
+use fun3d_machine::{MachineSpec, NetworkSpec};
+use fun3d_mesh::generator::MeshPreset;
+
+fn main() {
+    let mesh = MeshPreset::Small.build();
+    let machine = MachineSpec::xeon_e5_2680();
+    let net = NetworkSpec::stampede_fdr();
+    let sm = SurfaceModel::calibrate(mesh.nvertices(), &mesh.edges(), 8);
+    const MESH_D_VERTS: f64 = 2.76e6;
+
+    println!("machine: {} | network: FDR fat tree", machine.name);
+    println!(
+        "\n{:>6} {:>12} {:>12} {:>12} {:>8} {:>10}",
+        "nodes", "baseline(s)", "optimized(s)", "hybrid(s)", "comm%", "iters"
+    );
+    for nodes in [1usize, 4, 16, 64, 256] {
+        let styles = [ExecStyle::Baseline, ExecStyle::Optimized, ExecStyle::Hybrid];
+        let mut totals = [0.0f64; 3];
+        let mut commfrac = 0.0;
+        let mut iters = 0.0;
+        for (k, style) in styles.into_iter().enumerate() {
+            let cfg = ScalingConfig::mesh_d(style);
+            let w = sm.workload(nodes * cfg.ranks_per_node(), MESH_D_VERTS, 2.0);
+            let p = simulate_point(&machine, &net, &cfg, nodes, &w);
+            totals[k] = p.total_s;
+            if style == ExecStyle::Optimized {
+                commfrac = p.comm_fraction();
+                iters = p.linear_iters;
+            }
+        }
+        println!(
+            "{nodes:>6} {:>12.2} {:>12.2} {:>12.2} {:>7.0}% {:>10.0}",
+            totals[0],
+            totals[1],
+            totals[2],
+            100.0 * commfrac,
+            iters
+        );
+    }
+    println!("\nShapes to compare with the paper: optimized < hybrid < baseline at");
+    println!("every node count; communication fraction climbing toward ~70% at 256");
+    println!("nodes; linear iterations creeping up ~30% for the MPI-only styles.");
+}

@@ -1,0 +1,34 @@
+//! `fun3d-repro` — umbrella crate of the IPDPS 2015 PETSc-FUN3D
+//! shared-memory-optimization reproduction.
+//!
+//! This crate exists to host the workspace-level integration tests
+//! (`tests/`) and runnable examples (`examples/`); the implementation
+//! lives in the `crates/*` members, re-exported here for convenience:
+//!
+//! ```no_run
+//! use fun3d_repro::prelude::*;
+//!
+//! let mut mesh = MeshPreset::Small.build();
+//! Fun3dApp::rcm_reorder(&mut mesh);
+//! let mut app = Fun3dApp::new(mesh, FlowConditions::default(), OptConfig::optimized(2));
+//! let (_state, stats) = app.run(&PtcConfig::default());
+//! assert!(stats.converged);
+//! ```
+
+pub use fun3d_cluster as cluster;
+pub use fun3d_core as core;
+pub use fun3d_machine as machine;
+pub use fun3d_mesh as mesh;
+pub use fun3d_partition as partition;
+pub use fun3d_simd as simd;
+pub use fun3d_solver as solver;
+pub use fun3d_sparse as sparse;
+pub use fun3d_threads as threads;
+pub use fun3d_util as util;
+
+/// The handful of types most programs start from.
+pub mod prelude {
+    pub use fun3d_core::{Fun3dApp, FlowConditions, OptConfig};
+    pub use fun3d_mesh::generator::MeshPreset;
+    pub use fun3d_solver::ptc::PtcConfig;
+}

@@ -1,0 +1,120 @@
+//! Cross-crate integration: the distributed (rank-parallel) solve path
+//! must agree with the serial solver stack on the same system.
+
+use fun3d_cluster::dsolve::{gmres, DistSystem};
+use fun3d_cluster::{Decomposition, Universe};
+use fun3d_mesh::generator::MeshPreset;
+use fun3d_solver::gmres::{Gmres, GmresConfig};
+use fun3d_solver::precond::SerialIlu;
+use fun3d_sparse::Bcsr4;
+
+fn system() -> (usize, Vec<[u32; 2]>, Bcsr4, Vec<f64>) {
+    let mesh = MeshPreset::Tiny.build();
+    let edges = mesh.edges();
+    let nv = mesh.nvertices();
+    let mut a = Bcsr4::from_edges(nv, &edges);
+    a.fill_diag_dominant(99);
+    let n = a.dim();
+    let xref: Vec<f64> = (0..n).map(|i| ((i % 13) as f64 - 6.0) * 0.2).collect();
+    let mut b = vec![0.0; n];
+    a.spmv(&xref, &mut b);
+    (nv, edges, a, b)
+}
+
+#[test]
+fn distributed_gmres_agrees_with_serial_gmres() {
+    let (nv, edges, a, b) = system();
+    let n = a.dim();
+
+    // serial reference (global ILU preconditioner)
+    let mut x_serial = vec![0.0; n];
+    let ilu = SerialIlu::new(&a, 0);
+    let res = Gmres::new(
+        n,
+        GmresConfig {
+            rtol: 1e-10,
+            max_iters: 500,
+            ..Default::default()
+        },
+    )
+    .solve(&a, &ilu, &b, &mut x_serial);
+    assert!(res.residual <= 1e-9 * res.residual0.max(1.0) || res.iterations < 500);
+
+    // distributed (4 ranks, block-Jacobi ILU)
+    let decomp = Decomposition::build(nv, &edges, 4);
+    let subs = decomp.subdomains.clone();
+    let a_ref = &a;
+    let b_ref = &b;
+    let results = Universe::run(4, move |comm| {
+        let sub = subs[comm.rank()].clone();
+        let sys = DistSystem::new(a_ref, sub, 0);
+        let blocal: Vec<f64> = sys
+            .sub
+            .owned
+            .iter()
+            .flat_map(|&g| b_ref[g as usize * 4..g as usize * 4 + 4].to_vec())
+            .collect();
+        let mut x = vec![0.0; sys.nowned()];
+        let r = gmres(&comm, &sys, &blocal, &mut x, 30, 1e-10, 500);
+        assert!(r.converged);
+        (sys.sub.owned.clone(), x)
+    });
+    let mut x_dist = vec![0.0; n];
+    for (owned, x) in results {
+        for (l, &g) in owned.iter().enumerate() {
+            x_dist[g as usize * 4..g as usize * 4 + 4].copy_from_slice(&x[l * 4..l * 4 + 4]);
+        }
+    }
+
+    let diff: f64 = x_serial
+        .iter()
+        .zip(&x_dist)
+        .map(|(p, q)| (p - q) * (p - q))
+        .sum::<f64>()
+        .sqrt();
+    let norm: f64 = x_serial.iter().map(|v| v * v).sum::<f64>().sqrt();
+    assert!(diff < 1e-6 * norm, "diff {diff} vs norm {norm}");
+}
+
+#[test]
+fn distributed_results_independent_of_rank_count() {
+    let (nv, edges, a, b) = system();
+    let n = a.dim();
+    let mut solutions: Vec<Vec<f64>> = Vec::new();
+    for nranks in [1usize, 2, 3] {
+        let decomp = Decomposition::build(nv, &edges, nranks);
+        let subs = decomp.subdomains.clone();
+        let a_ref = &a;
+        let b_ref = &b;
+        let results = Universe::run(nranks, move |comm| {
+            let sub = subs[comm.rank()].clone();
+            let sys = DistSystem::new(a_ref, sub, 0);
+            let blocal: Vec<f64> = sys
+                .sub
+                .owned
+                .iter()
+                .flat_map(|&g| b_ref[g as usize * 4..g as usize * 4 + 4].to_vec())
+                .collect();
+            let mut x = vec![0.0; sys.nowned()];
+            gmres(&comm, &sys, &blocal, &mut x, 30, 1e-11, 800);
+            (sys.sub.owned.clone(), x)
+        });
+        let mut xg = vec![0.0; n];
+        for (owned, x) in results {
+            for (l, &g) in owned.iter().enumerate() {
+                xg[g as usize * 4..g as usize * 4 + 4].copy_from_slice(&x[l * 4..l * 4 + 4]);
+            }
+        }
+        solutions.push(xg);
+    }
+    for k in 1..solutions.len() {
+        let diff: f64 = solutions[0]
+            .iter()
+            .zip(&solutions[k])
+            .map(|(p, q)| (p - q) * (p - q))
+            .sum::<f64>()
+            .sqrt();
+        let norm: f64 = solutions[0].iter().map(|v| v * v).sum::<f64>().sqrt();
+        assert!(diff < 1e-6 * norm, "rank-count variant {k}: {diff}");
+    }
+}

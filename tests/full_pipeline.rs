@@ -1,0 +1,106 @@
+//! End-to-end integration: mesh generation → reordering → solver →
+//! profile, across optimization configurations.
+
+use fun3d_core::{app::IluParallel, Fun3dApp, FlowConditions, OptConfig};
+use fun3d_mesh::generator::MeshPreset;
+use fun3d_solver::ptc::PtcConfig;
+
+fn ptc() -> PtcConfig {
+    PtcConfig {
+        dt0: 2.0,
+        rtol: 1e-7,
+        max_steps: 80,
+        ..Default::default()
+    }
+}
+
+fn solve(cfg: OptConfig) -> (Vec<f64>, fun3d_solver::ptc::PtcStats) {
+    let mut mesh = MeshPreset::Tiny.build();
+    Fun3dApp::rcm_reorder(&mut mesh);
+    let mut app = Fun3dApp::new(mesh, FlowConditions::default(), cfg);
+    app.run(&ptc())
+}
+
+fn rel_diff(a: &[f64], b: &[f64]) -> f64 {
+    let num: f64 = a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt();
+    let den: f64 = a.iter().map(|x| x * x).sum::<f64>().sqrt();
+    num / den.max(1e-300)
+}
+
+#[test]
+fn every_configuration_converges_to_the_same_flow() {
+    let (base, sb) = solve(OptConfig::baseline());
+    assert!(sb.converged);
+
+    let mut configs: Vec<(&str, OptConfig)> = vec![
+        ("optimized-2t", OptConfig::optimized(2)),
+        ("optimized-4t", OptConfig::optimized(4)),
+    ];
+    let mut lvl = OptConfig::optimized(2);
+    lvl.ilu_parallel = IluParallel::Levels;
+    configs.push(("levels-2t", lvl));
+    let mut serial_simd = OptConfig::baseline();
+    serial_simd.use_simd = true;
+    serial_simd.use_prefetch = true;
+    configs.push(("serial+simd", serial_simd));
+    let mut natural = OptConfig::optimized(3);
+    natural.metis_partition = false;
+    configs.push(("natural-partition", natural));
+
+    for (name, cfg) in configs {
+        let (u, stats) = solve(cfg);
+        assert!(stats.converged, "{name} did not converge");
+        let d = rel_diff(&base, &u);
+        assert!(d < 1e-4, "{name}: solution differs from baseline by {d}");
+    }
+}
+
+#[test]
+fn profile_covers_all_paper_kernels() {
+    let mut mesh = MeshPreset::Tiny.build();
+    Fun3dApp::rcm_reorder(&mut mesh);
+    let mut app = Fun3dApp::new(mesh, FlowConditions::default(), OptConfig::baseline());
+    let (_, stats) = app.run(&ptc());
+    assert!(stats.converged);
+    let prof = app.profile();
+    for phase in ["flux", "gradient", "jacobian", "ilu", "trsv", "total"] {
+        assert!(prof.seconds(phase) > 0.0, "phase {phase} unrecorded");
+    }
+    // the tracked kernels should dominate, as in the paper's Fig. 5
+    let tracked: f64 = ["flux", "gradient", "jacobian", "ilu", "trsv"]
+        .iter()
+        .map(|p| prof.seconds(p))
+        .sum();
+    let frac = tracked / prof.seconds("total");
+    assert!(
+        frac > 0.5,
+        "kernels should dominate the profile, got {frac:.2}"
+    );
+}
+
+#[test]
+fn solver_is_deterministic_serially() {
+    let (a, sa) = solve(OptConfig::baseline());
+    let (b, sb) = solve(OptConfig::baseline());
+    assert_eq!(a, b, "two serial runs must agree bitwise");
+    assert_eq!(sa.linear_iters, sb.linear_iters);
+}
+
+#[test]
+fn residual_history_is_publishable() {
+    let (_, stats) = solve(OptConfig::baseline());
+    let h = &stats.res_history;
+    assert_eq!(h.len(), stats.time_steps + 1);
+    assert!(h.last().unwrap() / h.first().unwrap() < 1e-6);
+}
+
+#[test]
+fn ilu0_vs_ilu1_tradeoff_runs() {
+    let mut c0 = OptConfig::baseline();
+    c0.ilu_fill = 0;
+    let (_, s0) = solve(c0);
+    let mut c1 = OptConfig::baseline();
+    c1.ilu_fill = 1;
+    let (_, s1) = solve(c1);
+    assert!(s0.converged && s1.converged);
+}

@@ -1,0 +1,125 @@
+//! Property tests: every optimization variant of every kernel computes
+//! the same answer as its scalar reference, over random states and
+//! geometries — the contract that makes the paper's "optimizations" pure
+//! performance transformations.
+
+use fun3d_core::geom::{EdgeGeom, NodeAos, NodeSoa};
+use fun3d_core::{flux, FlowConditions};
+use fun3d_mesh::generator::ChannelSpec;
+use fun3d_mesh::DualMesh;
+use fun3d_partition::{natural_partition, partition_graph, MultilevelConfig, OwnerWritesPlan};
+use fun3d_threads::ThreadPool;
+use proptest::prelude::*;
+
+fn random_fixture(seed: u64, jitter: f64, amp: f64) -> (EdgeGeom, NodeAos) {
+    let mut spec = ChannelSpec::with_resolution(6, 5, 4);
+    spec.seed = seed;
+    spec.jitter = jitter;
+    let mesh = spec.build();
+    let dual = DualMesh::build(&mesh);
+    let geom = EdgeGeom::build(&mesh, &dual);
+    let cond = FlowConditions::default();
+    let mut node = NodeAos::zeros(mesh.nvertices());
+    node.set_freestream(&cond.qinf);
+    let mut rng = fun3d_util::Rng64::new(seed ^ 0xABCD);
+    for x in node.q.iter_mut() {
+        *x += rng.range_f64(-amp, amp);
+    }
+    let bc = fun3d_core::bc::BcData::build(&dual);
+    fun3d_core::gradient::green_gauss(&geom, &bc, &dual.vol, &mut node);
+    (geom, node)
+}
+
+fn scalar_reference(geom: &EdgeGeom, node: &NodeAos) -> Vec<f64> {
+    let mut r = vec![0.0; node.n * 4];
+    flux::serial_aos(geom, node, 1.0, &mut r);
+    r
+}
+
+fn close(a: &[f64], b: &[f64], tol: f64) -> Result<(), String> {
+    let scale = a.iter().map(|x| x.abs()).fold(0.0, f64::max).max(1.0);
+    for i in 0..a.len() {
+        if (a[i] - b[i]).abs() > tol * scale {
+            return Err(format!("entry {i}: {} vs {}", a[i], b[i]));
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn all_flux_variants_agree(
+        seed in any::<u64>(),
+        jitter in 0.0f64..0.3,
+        amp in 0.0f64..0.4,
+        nthreads in 1usize..5,
+    ) {
+        let (geom, node) = random_fixture(seed, jitter, amp);
+        let reference = scalar_reference(&geom, &node);
+        let n4 = node.n * 4;
+
+        // SoA layout
+        let soa = NodeSoa::from_aos(&node);
+        let mut r = vec![0.0; n4];
+        flux::serial_soa(&geom, &soa, 1.0, &mut r);
+        prop_assert_eq!(&reference, &r, "SoA must be bitwise identical");
+
+        // SIMD batching
+        let mut r = vec![0.0; n4];
+        flux::serial_aos_simd(&geom, &node, 1.0, &mut r);
+        prop_assert!(close(&reference, &r, 1e-12).is_ok());
+
+        // SIMD + prefetch
+        let mut r = vec![0.0; n4];
+        flux::serial_aos_simd_prefetch(&geom, &node, 1.0, &mut r);
+        prop_assert!(close(&reference, &r, 1e-12).is_ok());
+
+        // threaded variants
+        let pool = ThreadPool::new(nthreads);
+        let mut r = vec![0.0; n4];
+        flux::atomics(&pool, &geom, &node, 1.0, &mut r);
+        prop_assert!(close(&reference, &r, 1e-11).is_ok());
+
+        let nat = OwnerWritesPlan::build(&geom.edges, &natural_partition(node.n, nthreads), nthreads);
+        let mut r = vec![0.0; n4];
+        flux::owner_writes(&pool, &nat, &geom, &node, 1.0, &mut r);
+        prop_assert_eq!(&reference, &r, "owner-writes must be bitwise identical");
+
+        let graph = fun3d_mesh::Graph::from_edges(node.n, &geom.edges);
+        let ml = OwnerWritesPlan::build(
+            &geom.edges,
+            &partition_graph(&graph, nthreads, &MultilevelConfig::default()),
+            nthreads,
+        );
+        let mut r = vec![0.0; n4];
+        flux::owner_writes_opt(&pool, &ml, &geom, &node, 1.0, &mut r);
+        prop_assert!(close(&reference, &r, 1e-12).is_ok());
+    }
+
+    #[test]
+    fn triangular_solve_strategies_agree(seed in any::<u64>(), nthreads in 1usize..5) {
+        use fun3d_sparse::{ilu, trsv, levels, p2p, Bcsr4, LevelSchedule, P2pSchedule};
+        let mut spec = ChannelSpec::with_resolution(5, 4, 4);
+        spec.seed = seed;
+        let mesh = spec.build();
+        let mut a = Bcsr4::from_edges(mesh.nvertices(), &mesh.edges());
+        a.fill_diag_dominant(seed);
+        let f = ilu::iluk(&a, 1);
+        let n = a.dim();
+        let b: Vec<f64> = (0..n).map(|i| ((i as f64) * 0.37).sin()).collect();
+        let serial = trsv::solve(&f, &b);
+
+        let pool = ThreadPool::new(nthreads);
+        let lf = LevelSchedule::forward(&f.l);
+        let lb = LevelSchedule::backward(&f.u);
+        let x = levels::solve_levels(&f, &b, &pool, &lf, &lb);
+        prop_assert_eq!(&serial, &x, "level-scheduled differs");
+
+        let pf = P2pSchedule::forward(&f.l, nthreads);
+        let pb = P2pSchedule::backward(&f.u, nthreads);
+        let x = p2p::solve_p2p(&f, &b, &pool, &pf, &pb);
+        prop_assert_eq!(&serial, &x, "p2p differs");
+    }
+}

@@ -1,0 +1,98 @@
+//! Property-based cross-crate invariants: random mesh geometries and
+//! matrices must satisfy the identities the discretization depends on.
+
+use fun3d_mesh::generator::ChannelSpec;
+use fun3d_mesh::DualMesh;
+use fun3d_partition::{partition_graph, MultilevelConfig, OwnerWritesPlan};
+use fun3d_sparse::{ilu, trsv, Bcsr4};
+use proptest::prelude::*;
+
+/// Strategy: small random channel meshes with varying geometry.
+fn mesh_spec() -> impl Strategy<Value = ChannelSpec> {
+    (
+        4usize..8,
+        3usize..6,
+        3usize..6,
+        0.0f64..0.25,
+        0.0f64..0.3,
+        any::<u64>(),
+    )
+        .prop_map(|(ni, nj, nk, thickness, jitter, seed)| {
+            let mut spec = ChannelSpec::with_resolution(ni, nj, nk);
+            spec.thickness = thickness;
+            spec.jitter = jitter;
+            spec.seed = seed;
+            spec
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn dual_closure_holds_for_random_geometry(spec in mesh_spec()) {
+        let mesh = spec.build();
+        let dual = DualMesh::build(&mesh);
+        let scale = dual
+            .edge_normal
+            .iter()
+            .map(|n| n.norm())
+            .fold(0.0, f64::max)
+            .max(1.0);
+        prop_assert!(dual.max_closure_defect() < 1e-11 * scale);
+        // volumes positive and summing to the mesh volume
+        prop_assert!(dual.vol.iter().all(|&v| v > 0.0));
+        let dv: f64 = dual.vol.iter().sum();
+        let tv = mesh.total_volume();
+        prop_assert!((dv - tv).abs() < 1e-9 * tv);
+    }
+
+    #[test]
+    fn owner_writes_plan_covers_every_edge(spec in mesh_spec(), nthreads in 1usize..6) {
+        let mesh = spec.build();
+        let edges = mesh.edges();
+        let graph = mesh.vertex_graph();
+        let part = partition_graph(&graph, nthreads, &MultilevelConfig::default());
+        let plan = OwnerWritesPlan::build(&edges, &part, nthreads);
+        // every endpoint written exactly once
+        let mut writes = vec![[0u8; 2]; edges.len()];
+        for t in 0..nthreads {
+            for (k, &eid) in plan.edges_of[t].iter().enumerate() {
+                let mask = plan.writes_of[t][k];
+                if mask & 1 != 0 { writes[eid as usize][0] += 1; }
+                if mask & 2 != 0 { writes[eid as usize][1] += 1; }
+            }
+        }
+        prop_assert!(writes.iter().all(|w| w[0] == 1 && w[1] == 1));
+        prop_assert!(plan.replication_overhead() >= 0.0);
+    }
+
+    #[test]
+    fn ilu_preconditioned_residual_shrinks(seed in any::<u64>(), fill in 0usize..3) {
+        // random diagonally dominant block matrix on a fixed small mesh
+        let spec = ChannelSpec::with_resolution(5, 4, 4);
+        let mesh = spec.build();
+        let mut a = Bcsr4::from_edges(mesh.nvertices(), &mesh.edges());
+        a.fill_diag_dominant(seed);
+        let f = ilu::iluk(&a, fill);
+        let n = a.dim();
+        let xref: Vec<f64> = (0..n).map(|i| ((i * 29 % 17) as f64 - 8.0) * 0.1).collect();
+        let mut b = vec![0.0; n];
+        a.spmv(&xref, &mut b);
+        let x = trsv::solve(&f, &b);
+        // one application of (LU)^-1 A must contract toward the solution
+        let err: f64 = x.iter().zip(&xref).map(|(p, q)| (p - q) * (p - q)).sum::<f64>().sqrt();
+        let norm: f64 = xref.iter().map(|v| v * v).sum::<f64>().sqrt();
+        prop_assert!(err < 0.6 * norm, "err {err} norm {norm}");
+    }
+
+    #[test]
+    fn rcm_never_hurts_bandwidth(spec in mesh_spec()) {
+        let mut mesh = spec.build();
+        let before = mesh.vertex_graph().bandwidth();
+        let perm = fun3d_mesh::reorder::rcm(&mesh.vertex_graph());
+        mesh.renumber(&perm);
+        let after = mesh.vertex_graph().bandwidth();
+        prop_assert!(after <= before, "RCM worsened bandwidth: {before} -> {after}");
+    }
+}
