@@ -1,11 +1,14 @@
-//! Criterion microbenchmarks backing the figure harnesses: flux-kernel
-//! variants, TRSV/ILU strategies, SpMV (BCSR vs scalar CSR), vector
-//! primitives and the partitioner.
+//! Microbenchmarks backing the figure harnesses: flux-kernel variants,
+//! TRSV/ILU strategies, SpMV (BCSR vs scalar CSR), vector primitives and
+//! the partitioner. Runs on the in-tree `fun3d_util::microbench` runner
+//! (`harness = false`), so `cargo bench -p fun3d-bench` works offline
+//! with zero external crates; pass a substring to filter, e.g.
+//! `cargo bench -p fun3d-bench -- flux`.
 //!
 //! Sizes are deliberately small (the container has one core); the
-//! statistically robust *ratios* between variants are what matters.
+//! statistically robust *ratios* between variants are what matters —
+//! hence median/MAD rather than mean/stddev.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use fun3d_core::geom::NodeSoa;
 use fun3d_core::{flux, EdgeGeom, FlowConditions, NodeAos};
 use fun3d_mesh::generator::MeshPreset;
@@ -13,6 +16,7 @@ use fun3d_mesh::DualMesh;
 use fun3d_partition::{partition_graph, MultilevelConfig};
 use fun3d_solver::vecops;
 use fun3d_sparse::{csr::Csr, ilu, trsv, Bcsr4, TempBuffer};
+use fun3d_util::microbench::{BatchSize, Bench};
 use fun3d_util::Rng64;
 
 fn fixture() -> (EdgeGeom, NodeAos, NodeSoa) {
@@ -33,10 +37,10 @@ fn fixture() -> (EdgeGeom, NodeAos, NodeSoa) {
     (geom, node, soa)
 }
 
-fn bench_flux(c: &mut Criterion) {
+fn bench_flux(c: &mut Bench) {
     let (geom, node, soa) = fixture();
     let n4 = node.n * 4;
-    let mut g = c.benchmark_group("flux");
+    let mut g = c.group("flux");
     g.sample_size(20);
     g.bench_function("serial_soa", |b| {
         b.iter_batched_ref(
@@ -76,13 +80,13 @@ fn jacobian() -> Bcsr4 {
     a
 }
 
-fn bench_recurrences(c: &mut Criterion) {
+fn bench_recurrences(c: &mut Bench) {
     let a = jacobian();
     let pattern1 = ilu::symbolic_iluk(&a, 1);
     let factors = ilu::factor(&a, &pattern1, TempBuffer::Compressed);
     let n = a.dim();
     let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.3).sin()).collect();
-    let mut g = c.benchmark_group("recurrences");
+    let mut g = c.group("recurrences");
     g.sample_size(15);
     g.bench_function("ilu1_full_buffer", |bch| {
         bch.iter(|| std::hint::black_box(ilu::factor(&a, &pattern1, TempBuffer::Full)))
@@ -97,20 +101,20 @@ fn bench_recurrences(c: &mut Criterion) {
     g.finish();
 }
 
-fn bench_spmv(c: &mut Criterion) {
+fn bench_spmv(c: &mut Bench) {
     let a = jacobian();
     let scalar = Csr::from_bcsr(&a);
     let n = a.dim();
     let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.17).cos()).collect();
     let mut y = vec![0.0; n];
-    let mut g = c.benchmark_group("spmv");
+    let mut g = c.group("spmv");
     g.sample_size(30);
     g.bench_function("bcsr4", |b| b.iter(|| a.spmv(&x, &mut y)));
     g.bench_function("scalar_csr", |b| b.iter(|| scalar.spmv(&x, &mut y)));
     g.finish();
 }
 
-fn bench_vecops(c: &mut Criterion) {
+fn bench_vecops(c: &mut Bench) {
     let n = 100_000;
     let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.01).sin()).collect();
     let ys: Vec<Vec<f64>> = (0..4)
@@ -119,7 +123,7 @@ fn bench_vecops(c: &mut Criterion) {
     let refs: Vec<&[f64]> = ys.iter().map(|v| v.as_slice()).collect();
     let mut out = vec![0.0; 4];
     let mut w = vec![0.0; n];
-    let mut g = c.benchmark_group("vecops");
+    let mut g = c.group("vecops");
     g.sample_size(30);
     g.bench_function("mdot4", |b| b.iter(|| vecops::mdot(&x, &refs, &mut out)));
     g.bench_function("maxpy4", |b| {
@@ -129,10 +133,10 @@ fn bench_vecops(c: &mut Criterion) {
     g.finish();
 }
 
-fn bench_partitioner(c: &mut Criterion) {
+fn bench_partitioner(c: &mut Bench) {
     let mesh = MeshPreset::Small.build();
     let graph = mesh.vertex_graph();
-    let mut g = c.benchmark_group("partitioner");
+    let mut g = c.group("partitioner");
     g.sample_size(10);
     g.bench_function("multilevel_8way", |b| {
         b.iter(|| {
@@ -142,12 +146,12 @@ fn bench_partitioner(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_flux,
-    bench_recurrences,
-    bench_spmv,
-    bench_vecops,
-    bench_partitioner
-);
-criterion_main!(benches);
+fn main() {
+    let mut c = Bench::from_args();
+    bench_flux(&mut c);
+    bench_recurrences(&mut c);
+    bench_spmv(&mut c);
+    bench_vecops(&mut c);
+    bench_partitioner(&mut c);
+    c.finish();
+}

@@ -5,11 +5,16 @@
 //! send/recv (FIFO per (source, destination) pair), sum/max allreduce,
 //! and barrier. Statistics (message and byte counts per op class) are
 //! recorded for the communication-overhead accounting of Fig. 10.
+//!
+//! Built entirely on `std::sync` (mpsc channels + `Mutex`) so the
+//! workspace stays hermetic. `std::sync::mpsc` gives exactly the FIFO
+//! per-(src,dst) ordering MPI guarantees for a single tag in flight, and
+//! since Rust 1.72 `Sender` is `Sync`, so one channel per directed rank
+//! pair can be shared from a single `Arc`.
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
-use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Barrier};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Barrier, Mutex, PoisonError};
 
 /// A tagged message.
 struct Msg {
@@ -44,7 +49,7 @@ impl Universe {
         let mut senders = Vec::with_capacity(size * size);
         let mut receivers = Vec::with_capacity(size * size);
         for _ in 0..size * size {
-            let (tx, rx) = unbounded::<Msg>();
+            let (tx, rx) = channel::<Msg>();
             senders.push(tx);
             receivers.push(Mutex::new(rx));
         }
@@ -106,7 +111,14 @@ impl Comm {
     /// (messages between a pair are consumed in order, like MPI with a
     /// single tag in flight).
     pub fn recv(&self, src: usize, tag: u32) -> Vec<f64> {
-        let rx = self.shared.receivers[src * self.shared.size + self.rank].lock();
+        // A rank that panics below (tag mismatch) poisons this mutex while
+        // its peers may still be draining their own recvs; recover the
+        // guard instead of cascading the poison into a deadlocked
+        // collective — the paired `recv` on the mpsc channel fails cleanly
+        // once the panicked rank's senders drop.
+        let rx = self.shared.receivers[src * self.shared.size + self.rank]
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
         let msg = rx.recv().expect("sender alive");
         assert_eq!(
             msg.tag, tag,

@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Tier-1 verification for the hermetic workspace.
+#
+# 1. Guard: every dependency in every manifest must be an in-tree path
+#    dependency (directly or via `workspace = true` indirection to the
+#    root's path-only [workspace.dependencies]). Any version/git/registry
+#    dependency would break the offline build, so it fails the guard
+#    before cargo even runs.
+# 2. Build + test with `--offline` and an empty-registry assumption.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== guard: manifests must contain only path dependencies =="
+fail=0
+for m in Cargo.toml crates/*/Cargo.toml; do
+    # Scan only *dependencies sections; flag entries that neither point at
+    # a path nor defer to the (path-only) workspace dependency table.
+    bad=$(awk '
+        /^\[/ { sect = $0 }
+        sect ~ /dependencies/ && !/^\[/ && /=/ && !/^[[:space:]]*#/ {
+            if ($0 !~ /path[[:space:]]*=/ && $0 !~ /workspace[[:space:]]*=[[:space:]]*true/)
+                print "  " FILENAME ": " $0
+        }' "$m")
+    if [ -n "$bad" ]; then
+        echo "non-path dependency in $m:"
+        echo "$bad"
+        fail=1
+    fi
+done
+if [ "$fail" -ne 0 ]; then
+    echo "FAIL: external dependencies are not allowed (offline build)"
+    exit 1
+fi
+echo "ok: all dependencies are workspace-path crates"
+
+echo "== cargo build --release --offline =="
+cargo build --release --offline
+
+echo "== cargo test -q --offline =="
+cargo test -q --offline
+
+echo "verify: OK"

@@ -2,6 +2,10 @@
 //! the same answer as its scalar reference, over random states and
 //! geometries — the contract that makes the paper's "optimizations" pure
 //! performance transformations.
+//!
+//! Runs on the in-tree `fun3d_util::proptest_mini` harness: each case is
+//! seeded, failures shrink by halving the drawn inputs, and the report
+//! prints a `FUN3D_PROP_SEED` that replays the case deterministically.
 
 use fun3d_core::geom::{EdgeGeom, NodeAos, NodeSoa};
 use fun3d_core::{flux, FlowConditions};
@@ -9,7 +13,7 @@ use fun3d_mesh::generator::ChannelSpec;
 use fun3d_mesh::DualMesh;
 use fun3d_partition::{natural_partition, partition_graph, MultilevelConfig, OwnerWritesPlan};
 use fun3d_threads::ThreadPool;
-use proptest::prelude::*;
+use fun3d_util::{prop_assert, prop_assert_eq, prop_cases};
 
 fn random_fixture(seed: u64, jitter: f64, amp: f64) -> (EdgeGeom, NodeAos) {
     let mut spec = ChannelSpec::with_resolution(6, 5, 4);
@@ -46,16 +50,13 @@ fn close(a: &[f64], b: &[f64], tol: f64) -> Result<(), String> {
     Ok(())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
+prop_cases! {
+    fn all_flux_variants_agree(g, cases = 12) {
+        let seed = g.u64();
+        let jitter = g.f64_range(0.0, 0.3);
+        let amp = g.f64_range(0.0, 0.4);
+        let nthreads = g.usize_range(1, 5);
 
-    #[test]
-    fn all_flux_variants_agree(
-        seed in any::<u64>(),
-        jitter in 0.0f64..0.3,
-        amp in 0.0f64..0.4,
-        nthreads in 1usize..5,
-    ) {
         let (geom, node) = random_fixture(seed, jitter, amp);
         let reference = scalar_reference(&geom, &node);
         let n4 = node.n * 4;
@@ -98,8 +99,10 @@ proptest! {
         prop_assert!(close(&reference, &r, 1e-12).is_ok());
     }
 
-    #[test]
-    fn triangular_solve_strategies_agree(seed in any::<u64>(), nthreads in 1usize..5) {
+    fn triangular_solve_strategies_agree(g, cases = 12) {
+        let seed = g.u64();
+        let nthreads = g.usize_range(1, 5);
+
         use fun3d_sparse::{ilu, trsv, levels, p2p, Bcsr4, LevelSchedule, P2pSchedule};
         let mut spec = ChannelSpec::with_resolution(5, 4, 4);
         spec.seed = seed;

@@ -1,36 +1,35 @@
 //! Property-based cross-crate invariants: random mesh geometries and
 //! matrices must satisfy the identities the discretization depends on.
+//!
+//! Runs on the in-tree `fun3d_util::proptest_mini` harness (seeded cases,
+//! shrink-by-halving, deterministic `FUN3D_PROP_SEED` replay).
 
 use fun3d_mesh::generator::ChannelSpec;
 use fun3d_mesh::DualMesh;
 use fun3d_partition::{partition_graph, MultilevelConfig, OwnerWritesPlan};
 use fun3d_sparse::{ilu, trsv, Bcsr4};
-use proptest::prelude::*;
+use fun3d_util::proptest_mini::Gen;
+use fun3d_util::{prop_assert, prop_cases};
 
-/// Strategy: small random channel meshes with varying geometry.
-fn mesh_spec() -> impl Strategy<Value = ChannelSpec> {
-    (
-        4usize..8,
-        3usize..6,
-        3usize..6,
-        0.0f64..0.25,
-        0.0f64..0.3,
-        any::<u64>(),
-    )
-        .prop_map(|(ni, nj, nk, thickness, jitter, seed)| {
-            let mut spec = ChannelSpec::with_resolution(ni, nj, nk);
-            spec.thickness = thickness;
-            spec.jitter = jitter;
-            spec.seed = seed;
-            spec
-        })
+/// Draws a small random channel mesh with varying geometry (the port of
+/// the old proptest `mesh_spec()` strategy).
+fn mesh_spec(g: &mut Gen) -> ChannelSpec {
+    let ni = g.usize_range(4, 8);
+    let nj = g.usize_range(3, 6);
+    let nk = g.usize_range(3, 6);
+    let thickness = g.f64_range(0.0, 0.25);
+    let jitter = g.f64_range(0.0, 0.3);
+    let seed = g.u64();
+    let mut spec = ChannelSpec::with_resolution(ni, nj, nk);
+    spec.thickness = thickness;
+    spec.jitter = jitter;
+    spec.seed = seed;
+    spec
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    #[test]
-    fn dual_closure_holds_for_random_geometry(spec in mesh_spec()) {
+prop_cases! {
+    fn dual_closure_holds_for_random_geometry(g, cases = 16) {
+        let spec = mesh_spec(g);
         let mesh = spec.build();
         let dual = DualMesh::build(&mesh);
         let scale = dual
@@ -47,8 +46,9 @@ proptest! {
         prop_assert!((dv - tv).abs() < 1e-9 * tv);
     }
 
-    #[test]
-    fn owner_writes_plan_covers_every_edge(spec in mesh_spec(), nthreads in 1usize..6) {
+    fn owner_writes_plan_covers_every_edge(g, cases = 16) {
+        let spec = mesh_spec(g);
+        let nthreads = g.usize_range(1, 6);
         let mesh = spec.build();
         let edges = mesh.edges();
         let graph = mesh.vertex_graph();
@@ -67,8 +67,9 @@ proptest! {
         prop_assert!(plan.replication_overhead() >= 0.0);
     }
 
-    #[test]
-    fn ilu_preconditioned_residual_shrinks(seed in any::<u64>(), fill in 0usize..3) {
+    fn ilu_preconditioned_residual_shrinks(g, cases = 16) {
+        let seed = g.u64();
+        let fill = g.usize_range(0, 3);
         // random diagonally dominant block matrix on a fixed small mesh
         let spec = ChannelSpec::with_resolution(5, 4, 4);
         let mesh = spec.build();
@@ -86,8 +87,8 @@ proptest! {
         prop_assert!(err < 0.6 * norm, "err {err} norm {norm}");
     }
 
-    #[test]
-    fn rcm_never_hurts_bandwidth(spec in mesh_spec()) {
+    fn rcm_never_hurts_bandwidth(g, cases = 16) {
+        let spec = mesh_spec(g);
         let mut mesh = spec.build();
         let before = mesh.vertex_graph().bandwidth();
         let perm = fun3d_mesh::reorder::rcm(&mesh.vertex_graph());
