@@ -17,6 +17,7 @@ use fun3d_partition::{partition_graph, MultilevelConfig};
 use fun3d_solver::vecops;
 use fun3d_sparse::{csr::Csr, ilu, trsv, Bcsr4, TempBuffer};
 use fun3d_util::microbench::{BatchSize, Bench};
+use fun3d_util::telemetry::{self, KernelCounts, Level};
 use fun3d_util::Rng64;
 
 fn fixture() -> (EdgeGeom, NodeAos, NodeSoa) {
@@ -133,6 +134,57 @@ fn bench_vecops(c: &mut Bench) {
     g.finish();
 }
 
+/// Telemetry overhead on the flux kernel: the same instrumented call
+/// (one `span` + one `record_kernel` per invocation, exactly what
+/// `Fun3dApp::run_flux` does) at `off` versus an uninstrumented baseline
+/// and versus the default `counters` level. The off/uninstrumented pair
+/// is the <2% acceptance claim; compare their medians in the CSV.
+fn bench_telemetry_overhead(c: &mut Bench) {
+    let (geom, node, _) = fixture();
+    let n4 = node.n * 4;
+    let nedges = geom.nedges();
+    let mut g = c.group("telemetry");
+    g.sample_size(20);
+    g.bench_function("flux_uninstrumented", |b| {
+        b.iter_batched_ref(
+            || vec![0.0; n4],
+            |res| flux::serial_aos(&geom, &node, 1.0, res),
+            BatchSize::LargeInput,
+        )
+    });
+    telemetry::set_level(Level::Off);
+    g.bench_function("flux_instrumented_off", |b| {
+        b.iter_batched_ref(
+            || vec![0.0; n4],
+            |res| {
+                let _span = telemetry::span("flux");
+                telemetry::record_kernel(
+                    "flux",
+                    KernelCounts::once(nedges as u64, 0, 0, 0),
+                );
+                flux::serial_aos(&geom, &node, 1.0, res)
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    telemetry::set_level(Level::Counters);
+    g.bench_function("flux_instrumented_counters", |b| {
+        b.iter_batched_ref(
+            || vec![0.0; n4],
+            |res| {
+                let _span = telemetry::span("flux");
+                telemetry::record_kernel(
+                    "flux",
+                    KernelCounts::once(nedges as u64, 0, 0, 0),
+                );
+                flux::serial_aos(&geom, &node, 1.0, res)
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    g.finish();
+}
+
 fn bench_partitioner(c: &mut Bench) {
     let mesh = MeshPreset::Small.build();
     let graph = mesh.vertex_graph();
@@ -152,6 +204,7 @@ fn main() {
     bench_recurrences(&mut c);
     bench_spmv(&mut c);
     bench_vecops(&mut c);
+    bench_telemetry_overhead(&mut c);
     bench_partitioner(&mut c);
     c.finish();
 }

@@ -1,0 +1,346 @@
+//! **perf_report** — one-shot telemetry report of a full application run.
+//!
+//! Runs the ΨNKS solve with telemetry at full detail and emits, in one
+//! invocation, the evidence the paper's figures are built from:
+//!
+//! * a per-kernel profile with analytic bytes/flops, achieved GB/s and
+//!   arithmetic intensity against the machine's STREAM number (the
+//!   Fig. 6 / Table 3 comparison);
+//! * a per-thread utilization / load-imbalance table from worker busy
+//!   spans (the shared-memory scaling story);
+//! * the ΨTC convergence history (residual, Δt, GMRES iterations per
+//!   step);
+//! * machine-readable artifacts under `target/experiments/`: a JSON run
+//!   summary (`perf_report.json`) and a Chrome trace-event timeline
+//!   (`perf_report.trace.json`) loadable in Perfetto / `chrome://tracing`.
+//!
+//! Usage: `perf_report [--mesh <preset>] [--threads <n>] [--check <file>]`
+//! (`--check` parses an existing JSON artifact and exits — used by
+//! `scripts/verify.sh` to keep the artifacts machine-readable).
+
+use fun3d_bench::build_mesh;
+use fun3d_core::{Fun3dApp, FlowConditions, OptConfig};
+use fun3d_machine::MachineSpec;
+use fun3d_mesh::generator::MeshPreset;
+use fun3d_solver::ptc::PtcConfig;
+use fun3d_util::report::{experiments_dir, fmt_g, write_json, Table};
+use fun3d_util::telemetry::{self, json::Json, trace, Level, Snapshot};
+
+struct Args {
+    mesh: MeshPreset,
+    threads: usize,
+    check: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut out = Args {
+        mesh: MeshPreset::Small,
+        threads: 2,
+        check: None,
+    };
+    let args: Vec<String> = std::env::args().collect();
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--mesh" => {
+                i += 1;
+                out.mesh = MeshPreset::parse(&args[i])
+                    .unwrap_or_else(|| panic!("unknown mesh preset '{}'", args[i]));
+            }
+            "--threads" => {
+                i += 1;
+                out.threads = args[i].parse().expect("--threads takes an integer");
+            }
+            "--check" => {
+                i += 1;
+                out.check = Some(args[i].clone());
+            }
+            "--help" | "-h" => {
+                eprintln!("options: --mesh <tiny|small|medium|large> --threads <n> --check <json>");
+                std::process::exit(0);
+            }
+            other => panic!("unknown argument '{other}'"),
+        }
+        i += 1;
+    }
+    out
+}
+
+/// `--check` mode: parse the artifact, verify the summary invariants,
+/// exit 0/1. This is the rot guard verify.sh runs.
+fn check_artifact(path: &str) -> ! {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("check failed: cannot read {path}: {e}");
+        std::process::exit(1);
+    });
+    let doc = Json::parse(&text).unwrap_or_else(|e| {
+        eprintln!("check failed: {path} is not valid JSON: {e}");
+        std::process::exit(1);
+    });
+    let mut problems = Vec::new();
+    if let Some(events) = doc.get("traceEvents") {
+        // Chrome trace form: every event needs a name, phase, pid, tid.
+        match events.as_arr() {
+            None => problems.push("'traceEvents' is not an array".to_string()),
+            Some(evs) => {
+                for e in evs {
+                    if e.get("name").and_then(Json::as_str).is_none()
+                        || e.get("ph").and_then(Json::as_str).is_none()
+                        || e.get("pid").and_then(Json::as_f64).is_none()
+                        || e.get("tid").and_then(Json::as_f64).is_none()
+                    {
+                        problems.push("malformed trace event".to_string());
+                        break;
+                    }
+                }
+            }
+        }
+        if problems.is_empty() {
+            println!("{path}: OK ({} trace events)", doc.get("traceEvents").and_then(Json::as_arr).map_or(0, <[Json]>::len));
+            std::process::exit(0);
+        }
+        for p in &problems {
+            eprintln!("check failed: {p}");
+        }
+        std::process::exit(1);
+    }
+    for key in ["machine", "run", "kernels", "threads", "convergence"] {
+        if doc.get(key).is_none() {
+            problems.push(format!("missing key '{key}'"));
+        }
+    }
+    if let Some(kernels) = doc.get("kernels").and_then(Json::as_arr) {
+        if kernels.is_empty() {
+            problems.push("'kernels' array is empty".to_string());
+        }
+        for k in kernels {
+            if k.get("name").and_then(Json::as_str).is_none() {
+                problems.push("kernel entry without 'name'".to_string());
+            }
+        }
+    }
+    if let Some(conv) = doc.get("convergence").and_then(|c| c.get("residual")) {
+        if conv.as_arr().map_or(true, |a| a.is_empty()) {
+            problems.push("'convergence.residual' is empty".to_string());
+        }
+    }
+    if problems.is_empty() {
+        println!("{path}: OK");
+        std::process::exit(0);
+    }
+    for p in &problems {
+        eprintln!("check failed: {p}");
+    }
+    std::process::exit(1);
+}
+
+fn main() {
+    let args = parse_args();
+    if let Some(path) = &args.check {
+        check_artifact(path);
+    }
+
+    // Full span detail unless the user explicitly chose a level.
+    if std::env::var("FUN3D_TELEMETRY").is_err() {
+        telemetry::set_level(Level::Full);
+    }
+
+    let machine = MachineSpec::xeon_e5_2690v2();
+    let mesh = build_mesh(args.mesh);
+    let mut app = Fun3dApp::new(
+        mesh,
+        FlowConditions::default(),
+        OptConfig::optimized(args.threads),
+    );
+    let nedges = app.geom.nedges();
+    let nvertices = app.mesh.nvertices();
+    let (_, stats) = app.run(&PtcConfig {
+        dt0: 2.0,
+        rtol: 1e-8,
+        max_steps: 100,
+        ..Default::default()
+    });
+    assert!(stats.converged, "run failed to converge");
+
+    let prof = app.profile();
+    let run_secs = prof.run_seconds();
+    let snap = telemetry::snapshot();
+    let counters = snap.merged_counters();
+
+    // ---- (a) per-kernel profile with achieved GB/s and intensity ----
+    let mut kernel_table = Table::new(
+        &format!(
+            "perf_report: kernel profile ({}, {} threads, {} edges)",
+            args.mesh.name(),
+            args.threads,
+            nedges
+        ),
+        &[
+            "kernel", "seconds", "% of run", "calls", "GB moved", "achieved GB/s",
+            "% of STREAM", "flop/byte",
+        ],
+    );
+    let mut kernels_json = Vec::new();
+    for (name, c) in counters.entries() {
+        let secs = prof.seconds(name);
+        let gbs = c.achieved_gbs(secs);
+        kernel_table.row(&[
+            name.to_string(),
+            fmt_g(secs),
+            format!("{:.1}%", 100.0 * secs / run_secs.max(1e-300)),
+            c.calls.to_string(),
+            fmt_g(c.bytes() as f64 / 1e9),
+            if secs > 0.0 { fmt_g(gbs) } else { "-".to_string() },
+            if secs > 0.0 {
+                format!("{:.0}%", 100.0 * gbs / machine.stream_gbs)
+            } else {
+                "-".to_string()
+            },
+            fmt_g(c.arithmetic_intensity()),
+        ]);
+        kernels_json.push(Json::obj(vec![
+            ("name", Json::str(*name)),
+            ("seconds", Json::num(secs)),
+            ("calls", Json::num(c.calls as f64)),
+            ("items", Json::num(c.items as f64)),
+            ("bytes_read", Json::num(c.bytes_read as f64)),
+            ("bytes_written", Json::num(c.bytes_written as f64)),
+            ("flops", Json::num(c.flops as f64)),
+            ("achieved_gbs", Json::num(gbs)),
+            ("stream_fraction", Json::num(gbs / machine.stream_gbs)),
+            ("arithmetic_intensity", Json::num(c.arithmetic_intensity())),
+        ]));
+    }
+    print!("{}", kernel_table.render());
+    println!();
+
+    // ---- (b) per-thread utilization / load imbalance ----
+    let busy = snap.per_thread_span_seconds("pool.region");
+    let mut thread_table = Table::new(
+        "perf_report: worker utilization (pool.region busy spans)",
+        &["thread", "busy s", "utilization", "regions"],
+    );
+    let mut threads_json = Vec::new();
+    let max_busy = busy.iter().map(|(_, s, _)| *s).fold(0.0f64, f64::max);
+    let mean_busy = if busy.is_empty() {
+        0.0
+    } else {
+        busy.iter().map(|(_, s, _)| *s).sum::<f64>() / busy.len() as f64
+    };
+    for (label, secs, n) in &busy {
+        thread_table.row(&[
+            label.clone(),
+            fmt_g(*secs),
+            format!("{:.1}%", 100.0 * secs / run_secs.max(1e-300)),
+            n.to_string(),
+        ]);
+        threads_json.push(Json::obj(vec![
+            ("label", Json::str(label.as_str())),
+            ("busy_seconds", Json::num(*secs)),
+            ("regions", Json::num(*n as f64)),
+        ]));
+    }
+    // load imbalance: max/mean busy time across workers (1.0 = perfect)
+    let imbalance = if mean_busy > 0.0 { max_busy / mean_busy } else { 1.0 };
+    if busy.is_empty() {
+        println!("(no worker spans recorded — run with FUN3D_TELEMETRY=spans or full)\n");
+    } else {
+        print!("{}", thread_table.render());
+        println!("load imbalance (max/mean busy): {imbalance:.3}\n");
+    }
+
+    // ---- (c) convergence history ----
+    let residual = snap.series("ptc.residual");
+    let dts = snap.series("ptc.dt");
+    let gmres_iters = snap.series("ptc.gmres_iters");
+    let mut conv_table = Table::new(
+        "perf_report: PTC convergence history",
+        &["step", "residual", "dt", "gmres iters"],
+    );
+    for (i, (step, res)) in residual.iter().enumerate() {
+        conv_table.row(&[
+            format!("{step:.0}"),
+            fmt_g(*res),
+            dts.get(i).map(|(_, v)| fmt_g(*v)).unwrap_or_default(),
+            gmres_iters
+                .get(i)
+                .map(|(_, v)| format!("{v:.0}"))
+                .unwrap_or_default(),
+        ]);
+    }
+    print!("{}", conv_table.render());
+    println!(
+        "\nrun: {} time steps, {} linear iterations, {:.3} s wall",
+        stats.time_steps, stats.linear_iters, run_secs
+    );
+
+    // ---- (d) machine-readable artifacts ----
+    let dropped = snap.dropped_spans();
+    if dropped > 0 {
+        println!("note: {dropped} spans lost to ring wraparound (raise FUN3D_TELEMETRY_RING)");
+    }
+    let summary = Json::obj(vec![
+        (
+            "machine",
+            Json::obj(vec![
+                ("name", Json::str(machine.name)),
+                ("stream_gbs", Json::num(machine.stream_gbs)),
+                ("peak_gflops", Json::num(machine.peak_gflops())),
+            ]),
+        ),
+        (
+            "run",
+            Json::obj(vec![
+                ("mesh", Json::str(args.mesh.name())),
+                ("threads", Json::num(args.threads as f64)),
+                ("edges", Json::num(nedges as f64)),
+                ("vertices", Json::num(nvertices as f64)),
+                ("wall_seconds", Json::num(run_secs)),
+                ("time_steps", Json::num(stats.time_steps as f64)),
+                ("linear_iters", Json::num(stats.linear_iters as f64)),
+                ("converged", Json::Bool(stats.converged)),
+                ("load_imbalance", Json::num(imbalance)),
+                ("dropped_spans", Json::num(dropped as f64)),
+                (
+                    "telemetry_level",
+                    Json::str(format!("{:?}", telemetry::level())),
+                ),
+            ]),
+        ),
+        ("kernels", Json::Arr(kernels_json)),
+        ("threads", Json::Arr(threads_json)),
+        (
+            "convergence",
+            Json::obj(vec![
+                (
+                    "residual",
+                    Json::Arr(residual.iter().map(|(_, y)| Json::num(*y)).collect()),
+                ),
+                (
+                    "dt",
+                    Json::Arr(dts.iter().map(|(_, y)| Json::num(*y)).collect()),
+                ),
+                (
+                    "gmres_iters",
+                    Json::Arr(gmres_iters.iter().map(|(_, y)| Json::num(*y)).collect()),
+                ),
+            ]),
+        ),
+    ]);
+    let dir = experiments_dir();
+    match write_json(&dir, "perf_report", &summary) {
+        Ok(p) => println!("[json summary written to {}]", p.display()),
+        Err(e) => eprintln!("warning: could not write json summary: {e}"),
+    }
+    match write_trace(&dir, &snap) {
+        Ok(p) => println!("[chrome trace written to {} — open in Perfetto]", p.display()),
+        Err(e) => eprintln!("warning: could not write trace: {e}"),
+    }
+}
+
+fn write_trace(dir: &std::path::Path, snap: &Snapshot) -> std::io::Result<std::path::PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join("perf_report.trace.json");
+    std::fs::write(&path, trace::render_chrome_trace(snap))?;
+    Ok(path)
+}

@@ -12,6 +12,7 @@
 //! since Rust 1.72 `Sender` is `Sync`, so one channel per directed rank
 //! pair can be shared from a single `Arc`.
 
+use fun3d_util::telemetry;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Barrier, Mutex, PoisonError};
@@ -68,6 +69,7 @@ impl Universe {
                 let shared = Arc::clone(&shared);
                 let f = &f;
                 handles.push(scope.spawn(move || {
+                    telemetry::set_thread_label(format!("rank-{rank}"));
                     f(Comm { rank, shared })
                 }));
             }
@@ -99,9 +101,11 @@ impl Comm {
     /// Sends `data` to `dst` with a tag. Non-blocking (buffered).
     pub fn send(&self, dst: usize, tag: u32, data: Vec<f64>) {
         self.shared.p2p_msgs.fetch_add(1, Ordering::Relaxed);
-        self.shared
-            .p2p_bytes
-            .fetch_add((data.len() * 8) as u64, Ordering::Relaxed);
+        let bytes = (data.len() * 8) as u64;
+        self.shared.p2p_bytes.fetch_add(bytes, Ordering::Relaxed);
+        // Same counter vocabulary as the compute kernels: one message is
+        // one item; the payload counts as bytes written by this rank.
+        telemetry::record_kernel("comm.send", telemetry::KernelCounts::once(1, 0, bytes, 0));
         self.shared.senders[self.rank * self.shared.size + dst]
             .send(Msg { tag, data })
             .expect("receiver alive");
@@ -124,6 +128,10 @@ impl Comm {
             msg.tag, tag,
             "out-of-order tag between ranks {src}->{}",
             self.rank
+        );
+        telemetry::record_kernel(
+            "comm.recv",
+            telemetry::KernelCounts::once(1, (msg.data.len() * 8) as u64, 0, 0),
         );
         msg.data
     }

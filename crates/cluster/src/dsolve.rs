@@ -410,6 +410,37 @@ mod tests {
     }
 
     #[test]
+    fn halo_exchange_telemetry_matches_ghost_size_formula() {
+        use fun3d_util::telemetry;
+        telemetry::set_level(telemetry::Level::Counters);
+        let m = MeshPreset::Tiny.build();
+        let edges = m.edges();
+        let nv = m.nvertices();
+        let decomp = Decomposition::build(nv, &edges, 3);
+        let subs = decomp.subdomains.clone();
+        Universe::run(3, |comm| {
+            // Each rank thread is fresh, so its local counters start empty;
+            // delta against the baseline anyway in case the runtime reuses
+            // threads someday.
+            let sub = &subs[comm.rank()];
+            let base = |n: &str| {
+                telemetry::local_counters().get(n).copied().unwrap_or_default()
+            };
+            let (s0, r0) = (base("comm.send"), base("comm.recv"));
+            let mut x = vec![1.0; sub.nlocal() * 4];
+            halo_exchange(&comm, sub, &mut x);
+            let (s1, r1) = (base("comm.send"), base("comm.recv"));
+            // analytic ghost-size formula: halo_doubles() doubles sent,
+            // one message per neighbor
+            assert_eq!(s1.bytes_written - s0.bytes_written, (sub.halo_doubles() * 8) as u64);
+            assert_eq!(s1.items - s0.items, sub.send_lists.len() as u64);
+            let recv_doubles: usize = sub.recv_lists.iter().map(|(_, l)| l.len() * 4).sum();
+            assert_eq!(r1.bytes_read - r0.bytes_read, (recv_doubles * 8) as u64);
+            assert_eq!(r1.items - r0.items, sub.recv_lists.len() as u64);
+        });
+    }
+
+    #[test]
     fn localize_matrix_preserves_owned_rows() {
         let (a, _, _) = global_system();
         let m = MeshPreset::Tiny.build();

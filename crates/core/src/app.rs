@@ -11,6 +11,7 @@ use fun3d_solver::precond::Preconditioner;
 use fun3d_solver::ptc::{self, PtcConfig, PtcProblem, PtcStats};
 use fun3d_sparse::{ilu, levels, p2p, trsv, Bcsr4, IluFactors, LevelSchedule, P2pSchedule};
 use fun3d_threads::ThreadPool;
+use fun3d_util::telemetry;
 use fun3d_util::PhaseTimers;
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -118,6 +119,8 @@ struct AppPrecond {
 impl Preconditioner for AppPrecond {
     fn apply(&self, r: &[f64], z: &mut [f64]) {
         let t = std::time::Instant::now();
+        let _span = telemetry::span("trsv");
+        telemetry::record_kernel("trsv", crate::counts::trsv(&self.factors));
         match &self.mode {
             PrecondMode::Serial => {
                 let mut scratch = self.scratch.borrow_mut();
@@ -315,6 +318,8 @@ impl Fun3dApp {
 
     fn run_flux(&mut self, r: &mut [f64]) {
         let t = std::time::Instant::now();
+        let _span = telemetry::span("flux");
+        telemetry::record_kernel("flux", crate::counts::flux(self.geom.nedges()));
         r.iter_mut().for_each(|x| *x = 0.0);
         match (&self.pool, &self.plan) {
             (Some(pool), Some(plan)) => {
@@ -349,6 +354,11 @@ impl PtcProblem for Fun3dApp {
         self.node.q.copy_from_slice(u);
         {
             let t = std::time::Instant::now();
+            let _span = telemetry::span("gradient");
+            telemetry::record_kernel(
+                "gradient",
+                crate::counts::gradient(self.geom.nedges(), self.node.n),
+            );
             if let Some(lsq) = &self.lsq {
                 lsq.evaluate(&mut self.node);
             } else {
@@ -398,13 +408,20 @@ impl PtcProblem for Fun3dApp {
         self.node.q.copy_from_slice(u);
         {
             let t = std::time::Instant::now();
+            let _span = telemetry::span("jacobian");
+            telemetry::record_kernel(
+                "jacobian",
+                crate::counts::jacobian(self.geom.nedges(), self.node.n),
+            );
             jacobian::assemble(&self.geom, &self.bc, &self.node, &self.cond, &mut self.jac);
             jacobian::add_time_diagonal(&mut self.jac, time_diag);
             self.timers.borrow_mut().add("jacobian", t.elapsed());
         }
         let factors = {
             let t = std::time::Instant::now();
+            let _span = telemetry::span("ilu");
             let f = ilu::factor(&self.jac, &self.ilu_pattern, ilu::TempBuffer::Compressed);
+            telemetry::record_kernel("ilu", crate::counts::ilu_factor(&f));
             self.timers.borrow_mut().add("ilu", t.elapsed());
             f
         };
@@ -468,6 +485,31 @@ mod tests {
         for phase in ["flux", "gradient", "jacobian", "ilu", "trsv", "total"] {
             assert!(prof.calls(phase) > 0, "missing phase {phase}");
         }
+    }
+
+    #[test]
+    fn telemetry_counters_match_analytic_model() {
+        telemetry::set_level(telemetry::Level::Counters);
+        let mut app = build(OptConfig::baseline());
+        // serial run: every kernel records on this thread, so the delta
+        // of our own per-thread counters is deterministic even with other
+        // tests running concurrently
+        let before = telemetry::local_counters().get("flux").copied().unwrap_or_default();
+        let (_, stats) = app.run(&solve_config());
+        assert!(stats.converged);
+        let after = telemetry::local_counters().get("flux").copied().unwrap_or_default();
+        let evals = app.residual_evals as u64;
+        let nedges = app.geom.nedges() as u64;
+        assert_eq!(after.calls - before.calls, evals);
+        assert_eq!(after.items - before.items, evals * nedges);
+        assert_eq!(
+            (after.bytes() - before.bytes()) as f64,
+            EdgeGeom::FLUX_BYTES_PER_EDGE * (evals * nedges) as f64
+        );
+        assert_eq!(
+            (after.flops - before.flops) as f64,
+            EdgeGeom::FLUX_FLOPS_PER_EDGE * (evals * nedges) as f64
+        );
     }
 
     #[test]

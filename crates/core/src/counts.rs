@@ -1,0 +1,148 @@
+//! Analytic traffic/flop formulas for the application kernels.
+//!
+//! These are the Table 3-style performance-model numbers: for each kernel
+//! the bytes it must move and the floating-point work it must do, derived
+//! from mesh and factor sizes rather than measured with hardware
+//! counters. Telemetry records one [`KernelCounts`] per kernel
+//! invocation using these formulas; a report divides by the measured
+//! wall time to get achieved GB/s (Fig. 6's comparison against STREAM)
+//! and flop/byte arithmetic intensity.
+//!
+//! The byte counts model *compulsory* traffic (each operand counted
+//! once, read-modify-writes counted as a read plus a write) — actual
+//! DRAM traffic can be lower when gathers hit in cache, so an "achieved
+//! GB/s" above STREAM indicates cache residency, not a broken model.
+
+use crate::geom::EdgeGeom;
+use fun3d_sparse::IluFactors;
+use fun3d_util::telemetry::KernelCounts;
+
+/// Bytes of a 4-component state block.
+const STATE_BYTES: u64 = 4 * 8;
+/// Bytes of a 12-entry gradient block.
+const GRAD_BYTES: u64 = 12 * 8;
+/// Bytes of one 4×4 Jacobian block.
+const BLOCK_BYTES: u64 = 16 * 8;
+
+/// Flux kernel model for one evaluation over `nedges` edges.
+///
+/// Per edge (see [`EdgeGeom::FLUX_BYTES_PER_EDGE`]): reads 6 geometry
+/// doubles, one endpoint pair, two gathered nodes (state + gradient) and
+/// the two residual blocks it updates; writes the two residual blocks.
+/// Flops follow [`EdgeGeom::FLUX_FLOPS_PER_EDGE`].
+pub fn flux(nedges: usize) -> KernelCounts {
+    let ne = nedges as u64;
+    let reads = ne * (6 * 8 + 8 + 2 * (STATE_BYTES + GRAD_BYTES) + 2 * STATE_BYTES);
+    let writes = ne * 2 * STATE_BYTES;
+    debug_assert_eq!(
+        (reads + writes) as f64,
+        EdgeGeom::FLUX_BYTES_PER_EDGE * nedges as f64
+    );
+    KernelCounts::once(
+        ne,
+        reads,
+        writes,
+        (EdgeGeom::FLUX_FLOPS_PER_EDGE * nedges as f64) as u64,
+    )
+}
+
+/// Green-Gauss gradient model for one evaluation.
+///
+/// Per edge: read the 3 normal doubles, the endpoint pair and both
+/// states, then read-modify-write both 12-entry gradient accumulators
+/// (4 vars × 3 dims, one fused multiply-add per entry per endpoint);
+/// per vertex: read the dual volume and scale the 12 entries in place.
+pub fn gradient(nedges: usize, nvertices: usize) -> KernelCounts {
+    let ne = nedges as u64;
+    let nv = nvertices as u64;
+    let reads = ne * (3 * 8 + 8 + 2 * STATE_BYTES + 2 * GRAD_BYTES) + nv * (8 + GRAD_BYTES);
+    let writes = ne * 2 * GRAD_BYTES + nv * GRAD_BYTES;
+    let flops = ne * (4 * 3 * 2 * 2) + nv * 12;
+    KernelCounts::once(ne, reads, writes, flops)
+}
+
+/// First-order Jacobian assembly model for one rebuild.
+///
+/// Per edge: read geometry and both states, linearize the Roe flux
+/// (~2× the flux flops once for each sign of the perturbation) and
+/// read-modify-write four 4×4 blocks (aa, ab, ba, bb); per block row:
+/// the time-diagonal update touches the diagonal block.
+pub fn jacobian(nedges: usize, nrows: usize) -> KernelCounts {
+    let ne = nedges as u64;
+    let nr = nrows as u64;
+    let reads = ne * (6 * 8 + 8 + 2 * STATE_BYTES + 4 * BLOCK_BYTES) + nr * (BLOCK_BYTES + 4 * 8);
+    let writes = ne * 4 * BLOCK_BYTES + nr * BLOCK_BYTES;
+    let flops = ne * (2 * EdgeGeom::FLUX_FLOPS_PER_EDGE as u64 + 4 * 16) + nr * 4;
+    KernelCounts::once(ne, reads, writes, flops)
+}
+
+/// ILU(k) numeric factorization model for one rebuild over factors with
+/// the given block populations.
+///
+/// Each L block triggers one 4×4 inverse-diagonal multiply (~128 flops)
+/// plus a row-combine pass over the matching U row; modeled as touching
+/// every stored block a small constant number of times.
+pub fn ilu_factor(f: &IluFactors) -> KernelCounts {
+    let nblocks = (f.l.nblocks() + f.u.nblocks()) as u64;
+    let nrows = f.nrows() as u64;
+    let reads = 2 * nblocks * BLOCK_BYTES + nrows * BLOCK_BYTES;
+    let writes = nblocks * BLOCK_BYTES + nrows * BLOCK_BYTES;
+    // block-block multiply-accumulate: 4×4×4 fused multiply-adds
+    let flops = nblocks * 128 + nrows * 128;
+    KernelCounts::once(nrows, reads, writes, flops)
+}
+
+/// Forward+backward triangular sweep model for one preconditioner
+/// application: every stored factor byte is streamed once
+/// ([`IluFactors::sweep_bytes`]) plus the right-hand side in and the
+/// solution out; each off-diagonal block costs one 4×4 block-vector
+/// multiply (32 flops), each row one inverse-diagonal multiply.
+pub fn trsv(f: &IluFactors) -> KernelCounts {
+    let nrows = f.nrows() as u64;
+    let nblocks = (f.l.nblocks() + f.u.nblocks()) as u64;
+    let reads = f.sweep_bytes() as u64 + nrows * STATE_BYTES;
+    let writes = nrows * STATE_BYTES;
+    let flops = nblocks * 32 + nrows * 32;
+    KernelCounts::once(nrows, reads, writes, flops)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fun3d_sparse::{ilu, Bcsr4};
+
+    #[test]
+    fn flux_matches_published_per_edge_constants() {
+        let c = flux(1000);
+        assert_eq!(c.items, 1000);
+        assert_eq!(
+            c.bytes() as f64,
+            EdgeGeom::FLUX_BYTES_PER_EDGE * 1000.0
+        );
+        assert_eq!(c.flops as f64, EdgeGeom::FLUX_FLOPS_PER_EDGE * 1000.0);
+        // flux is memory-bound: intensity well under 1 flop/byte
+        assert!(c.arithmetic_intensity() < 1.0);
+    }
+
+    #[test]
+    fn gradient_and_jacobian_scale_with_edges() {
+        let g1 = gradient(100, 40);
+        let g2 = gradient(200, 40);
+        assert!(g2.bytes() > g1.bytes());
+        let j = jacobian(100, 40);
+        assert!(j.flops > flux(100).flops, "jacobian costs more than flux");
+    }
+
+    #[test]
+    fn factor_models_track_stored_blocks() {
+        let m = fun3d_mesh::generator::MeshPreset::Tiny.build();
+        let mut a = Bcsr4::from_edges(m.nvertices(), &m.edges());
+        a.fill_diag_dominant(7);
+        let f = ilu::ilu0(&a);
+        let fac = ilu_factor(&f);
+        let sweep = trsv(&f);
+        assert_eq!(fac.items, f.nrows() as u64);
+        assert!(sweep.bytes() as usize > f.sweep_bytes());
+        assert!(fac.bytes() > sweep.bytes(), "factorization moves more than a sweep");
+    }
+}

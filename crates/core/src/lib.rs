@@ -29,6 +29,7 @@
 
 pub mod app;
 pub mod bc;
+pub mod counts;
 pub mod euler;
 pub mod flux;
 pub mod geom;

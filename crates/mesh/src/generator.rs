@@ -347,6 +347,18 @@ impl MeshPreset {
         self.spec().build()
     }
 
+    /// The canonical preset name (the form [`MeshPreset::parse`] accepts).
+    pub fn name(self) -> &'static str {
+        match self {
+            MeshPreset::Tiny => "tiny",
+            MeshPreset::Small => "small",
+            MeshPreset::Medium => "medium",
+            MeshPreset::Large => "large",
+            MeshPreset::MeshC => "mesh-c",
+            MeshPreset::MeshD => "mesh-d",
+        }
+    }
+
     /// Parses a preset name (`tiny|small|medium|large|mesh-c|mesh-d`).
     pub fn parse(s: &str) -> Option<MeshPreset> {
         match s.to_ascii_lowercase().as_str() {

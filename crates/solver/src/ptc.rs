@@ -11,6 +11,8 @@ use crate::gmres::{Gmres, GmresConfig};
 use crate::op::FdJacobian;
 use crate::precond::Preconditioner;
 use crate::vecops;
+use fun3d_util::telemetry;
+use fun3d_util::Timer;
 
 /// The problem interface the CFD application implements.
 pub trait PtcProblem {
@@ -112,11 +114,18 @@ pub fn solve(problem: &mut dyn PtcProblem, u: &mut [f64], config: &PtcConfig) ->
     }
 
     for step in 0..config.max_steps {
+        let _step_span = telemetry::span("ptc.step");
         // SER time step growth.
         let dt = (config.dt0 * res0 / res).min(config.dt_max);
         problem.time_diag(dt, &mut shift);
-        problem.build_preconditioner(u, &shift);
+        {
+            let _pc_span = telemetry::span("ptc.precond_build");
+            let pc_timer = Timer::start();
+            problem.build_preconditioner(u, &shift);
+            telemetry::series_push("ptc.precond_build_s", (step + 1) as f64, pc_timer.seconds());
+        }
 
+        let mut step_lin_iters = 0usize;
         for _ in 0..config.newton_per_step {
             // Solve (diag(shift) + J) δ = −f(u), matrix-free.
             for i in 0..n {
@@ -136,9 +145,11 @@ pub fn solve(problem: &mut dyn PtcProblem, u: &mut [f64], config: &PtcConfig) ->
                     unsafe { (*prob_ptr).residual(x, out) };
                 };
                 let jac = FdJacobian::new(residual_fn, u, &r, &shift);
+                let _gmres_span = telemetry::span("ptc.gmres");
                 gmres.solve(&jac, problem.preconditioner(), &rhs, &mut delta)
             };
             stats.linear_iters += lin.iterations;
+            step_lin_iters += lin.iterations;
             stats.newton_iters += 1;
             vecops::axpy(u, 1.0, &delta);
             problem.residual(u, &mut r);
@@ -147,6 +158,9 @@ pub fn solve(problem: &mut dyn PtcProblem, u: &mut [f64], config: &PtcConfig) ->
         res = vecops::norm2(&r);
         stats.time_steps = step + 1;
         stats.res_history.push(res);
+        telemetry::series_push("ptc.residual", (step + 1) as f64, res);
+        telemetry::series_push("ptc.dt", (step + 1) as f64, dt);
+        telemetry::series_push("ptc.gmres_iters", (step + 1) as f64, step_lin_iters as f64);
         problem.on_step(step + 1, res, dt);
 
         if res <= config.rtol * res0 || res <= config.atol {
@@ -288,6 +302,22 @@ mod tests {
             fast.time_steps,
             slow.time_steps
         );
+    }
+
+    #[test]
+    fn telemetry_series_record_convergence() {
+        telemetry::set_level(telemetry::Level::Counters);
+        let mut p = LinearProblem::new(85);
+        let mut u = vec![0.0; p.dim()];
+        let stats = solve(&mut p, &mut u, &PtcConfig::default());
+        assert!(stats.time_steps >= 1);
+        let snap = telemetry::snapshot();
+        // one residual/dt/gmres_iters point per time step (other tests in
+        // this binary may add more, never fewer)
+        assert!(snap.series("ptc.residual").len() >= stats.time_steps);
+        assert!(snap.series("ptc.dt").len() >= stats.time_steps);
+        assert!(snap.series("ptc.gmres_iters").len() >= stats.time_steps);
+        assert!(snap.series("ptc.precond_build_s").len() >= stats.time_steps);
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! once and reused, so a `run` costs two channel messages per worker rather
 //! than a thread spawn.
 
+use fun3d_util::telemetry;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
@@ -50,7 +51,13 @@ impl ThreadPool {
                     .name(format!("fun3d-worker-{tid}"))
                     .spawn(move || {
                         while let Ok(job) = rx.recv() {
-                            let outcome = catch_unwind(AssertUnwindSafe(|| job(tid)));
+                            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                                // Busy interval on this worker's timeline;
+                                // per-thread totals of this span drive the
+                                // utilization / load-imbalance report.
+                                let _busy = telemetry::span("pool.region");
+                                job(tid)
+                            }));
                             if outcome.is_err() {
                                 shared.panicked.store(true, Ordering::SeqCst);
                             }
@@ -132,7 +139,15 @@ impl ThreadPool {
         F: Fn(usize, std::ops::Range<usize>) + Send + Sync + 'env,
     {
         let size = self.size;
-        self.run(move |tid| body(tid, crate::chunk_range(n, size, tid)));
+        self.run(move |tid| {
+            let range = crate::chunk_range(n, size, tid);
+            let _chunk = telemetry::fine_span("pool.chunk");
+            telemetry::record_kernel(
+                "pool.chunk",
+                telemetry::KernelCounts::once(range.len() as u64, 0, 0, 0),
+            );
+            body(tid, range)
+        });
     }
 }
 

@@ -16,6 +16,7 @@ pub mod proptest_mini;
 pub mod report;
 pub mod rng;
 pub mod stats;
+pub mod telemetry;
 pub mod timer;
 
 pub use aligned::AlignedVec;

@@ -125,6 +125,19 @@ pub fn experiments_dir() -> PathBuf {
     PathBuf::from("target").join("experiments")
 }
 
+/// Writes a JSON artifact next to the CSVs and returns the path:
+/// `<dir>/<name>.json`.
+pub fn write_json(
+    dir: &Path,
+    name: &str,
+    doc: &crate::telemetry::json::Json,
+) -> io::Result<PathBuf> {
+    fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{name}.json"));
+    fs::write(&path, doc.render_pretty())?;
+    Ok(path)
+}
+
 /// Formats a float with engineering-friendly precision.
 pub fn fmt_g(x: f64) -> String {
     if x == 0.0 {
@@ -178,6 +191,18 @@ mod tests {
         let path = sample().write_csv(&dir, "demo").unwrap();
         let content = fs::read_to_string(&path).unwrap();
         assert!(content.starts_with("name,value"));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn write_json_creates_parsable_file() {
+        use crate::telemetry::json::Json;
+        let dir = std::env::temp_dir().join("fun3d_util_report_json_test");
+        let doc = Json::obj(vec![("kernel", Json::str("flux")), ("gbs", Json::num(20.5))]);
+        let path = write_json(&dir, "summary", &doc).unwrap();
+        let content = fs::read_to_string(&path).unwrap();
+        let back = Json::parse(&content).unwrap();
+        assert_eq!(back.get("kernel").and_then(Json::as_str), Some("flux"));
         let _ = fs::remove_dir_all(&dir);
     }
 

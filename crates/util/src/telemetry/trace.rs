@@ -1,0 +1,164 @@
+//! Chrome `trace_event` exporter.
+//!
+//! Serializes a [`Snapshot`](super::Snapshot) into the JSON Object
+//! Format understood by `chrome://tracing` and Perfetto: a top-level
+//! object with a `traceEvents` array of complete events (`"ph": "X"`,
+//! microsecond timestamps) plus thread-name metadata events, one `tid`
+//! per recorded thread. Load the file via Perfetto's "Open trace file"
+//! to see every worker's span timeline side by side.
+
+use super::json::Json;
+use super::Snapshot;
+
+/// Builds the Chrome trace JSON document for a snapshot.
+///
+/// Threads are numbered `tid = 1..` in snapshot order and labeled with
+/// their telemetry labels via `thread_name` metadata events. All span
+/// events live in `pid = 1`.
+pub fn chrome_trace(snap: &Snapshot) -> Json {
+    let mut events: Vec<Json> = Vec::new();
+    for (idx, t) in snap.threads.iter().enumerate() {
+        let tid = (idx + 1) as f64;
+        events.push(Json::obj(vec![
+            ("name", Json::str("thread_name")),
+            ("ph", Json::str("M")),
+            ("pid", Json::num(1.0)),
+            ("tid", Json::num(tid)),
+            (
+                "args",
+                Json::obj(vec![("name", Json::str(&t.label))]),
+            ),
+        ]));
+        for ev in &t.spans {
+            events.push(Json::obj(vec![
+                ("name", Json::str(ev.name)),
+                ("cat", Json::str("fun3d")),
+                ("ph", Json::str("X")),
+                ("ts", Json::num(ev.start_ns as f64 / 1e3)),
+                ("dur", Json::num(ev.dur_ns as f64 / 1e3)),
+                ("pid", Json::num(1.0)),
+                ("tid", Json::num(tid)),
+            ]));
+        }
+    }
+    Json::obj(vec![
+        ("traceEvents", Json::Arr(events)),
+        ("displayTimeUnit", Json::str("ms")),
+    ])
+}
+
+/// Renders [`chrome_trace`] to a string.
+pub fn render_chrome_trace(snap: &Snapshot) -> String {
+    chrome_trace(snap).render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{SeriesPoint, SpanEvent, ThreadProfile};
+    use super::*;
+    use crate::telemetry::CounterMap;
+
+    fn sample_snapshot() -> Snapshot {
+        Snapshot {
+            threads: vec![
+                ThreadProfile {
+                    label: "main".into(),
+                    spans: vec![
+                        SpanEvent {
+                            name: "flux",
+                            start_ns: 1_000,
+                            dur_ns: 2_500,
+                        },
+                        SpanEvent {
+                            name: "gradient \"q\"\\grad",
+                            start_ns: 4_000,
+                            dur_ns: 1_000,
+                        },
+                    ],
+                    dropped_spans: 0,
+                    counters: CounterMap::new(),
+                    series: vec![SeriesPoint {
+                        series: "residual",
+                        x: 1.0,
+                        y: 0.5,
+                    }],
+                },
+                ThreadProfile {
+                    label: "fun3d-worker-1".into(),
+                    spans: vec![SpanEvent {
+                        name: "chunk",
+                        start_ns: 1_200,
+                        dur_ns: 800,
+                    }],
+                    dropped_spans: 3,
+                    counters: CounterMap::new(),
+                    series: Vec::new(),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn trace_is_well_formed_json_with_expected_shape() {
+        let rendered = render_chrome_trace(&sample_snapshot());
+        let doc = Json::parse(&rendered).expect("trace must be valid JSON");
+        let events = doc
+            .get("traceEvents")
+            .and_then(Json::as_arr)
+            .expect("traceEvents array");
+        // 2 metadata + 3 span events
+        assert_eq!(events.len(), 5);
+        let metas: Vec<_> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(Json::as_str) == Some("M"))
+            .collect();
+        assert_eq!(metas.len(), 2);
+        assert_eq!(
+            metas[0]
+                .get("args")
+                .and_then(|a| a.get("name"))
+                .and_then(Json::as_str),
+            Some("main")
+        );
+        for e in events {
+            let ph = e.get("ph").and_then(Json::as_str).unwrap();
+            assert!(ph == "M" || ph == "X");
+            assert_eq!(e.get("pid").and_then(Json::as_f64), Some(1.0));
+            assert!(e.get("tid").and_then(Json::as_f64).unwrap() >= 1.0);
+            if ph == "X" {
+                assert!(e.get("ts").and_then(Json::as_f64).is_some());
+                assert!(e.get("dur").and_then(Json::as_f64).unwrap() >= 0.0);
+            }
+        }
+        // µs conversion: 2500 ns -> 2.5 µs
+        let flux = events
+            .iter()
+            .find(|e| e.get("name").and_then(Json::as_str) == Some("flux"))
+            .unwrap();
+        assert!((flux.get("dur").and_then(Json::as_f64).unwrap() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn names_needing_escapes_round_trip() {
+        let rendered = render_chrome_trace(&sample_snapshot());
+        let doc = Json::parse(&rendered).unwrap();
+        let events = doc.get("traceEvents").and_then(Json::as_arr).unwrap();
+        assert!(events
+            .iter()
+            .any(|e| e.get("name").and_then(Json::as_str) == Some("gradient \"q\"\\grad")));
+    }
+
+    #[test]
+    fn empty_snapshot_is_still_valid() {
+        let rendered = render_chrome_trace(&Snapshot::default());
+        let doc = Json::parse(&rendered).unwrap();
+        assert_eq!(
+            doc.get("traceEvents").and_then(Json::as_arr).map(<[Json]>::len),
+            Some(0)
+        );
+        assert_eq!(
+            doc.get("displayTimeUnit").and_then(Json::as_str),
+            Some("ms")
+        );
+    }
+}

@@ -115,9 +115,40 @@ impl PhaseTimers {
         self.buckets.get(name).map(|b| b.calls).unwrap_or(0)
     }
 
-    /// Sum of all buckets, in seconds.
+    /// Sum of all buckets, in seconds. Note this includes envelope
+    /// buckets such as `"total"`; use [`PhaseTimers::run_seconds`] as a
+    /// percentage denominator.
     pub fn total_seconds(&self) -> f64 {
         self.buckets.values().map(|b| b.total.as_secs_f64()).sum()
+    }
+
+    /// Sum of the kernel buckets only, excluding envelope buckets that
+    /// wrap the whole run (`"total"`).
+    pub fn kernel_seconds(&self) -> f64 {
+        self.buckets
+            .iter()
+            .filter(|(&k, _)| !Self::is_envelope(k))
+            .map(|(_, b)| b.total.as_secs_f64())
+            .sum()
+    }
+
+    /// The wall-clock denominator for percentages: the `"total"` envelope
+    /// bucket when one was recorded, otherwise the sum of the kernel
+    /// buckets. Using the all-bucket sum would double-count the envelope
+    /// and roughly halve every kernel's reported fraction.
+    pub fn run_seconds(&self) -> f64 {
+        let t = self.seconds("total");
+        if t > 0.0 {
+            t
+        } else {
+            self.kernel_seconds()
+        }
+    }
+
+    /// True for buckets that envelope the whole run rather than time one
+    /// kernel.
+    pub fn is_envelope(name: &str) -> bool {
+        name == "total"
     }
 
     /// `(name, seconds, calls)` sorted by descending time.
@@ -141,9 +172,18 @@ impl PhaseTimers {
         }
     }
 
-    /// Renders a profile table: name, seconds, % of total, calls.
+    /// Renders a profile table: name, seconds, % of run, calls. The
+    /// percentage denominator is [`PhaseTimers::run_seconds`] so an
+    /// envelope `"total"` bucket reads 100% instead of halving every
+    /// kernel's fraction.
     pub fn report(&self) -> String {
-        let total = self.total_seconds().max(1e-300);
+        self.report_against(self.run_seconds())
+    }
+
+    /// Renders the profile table with an explicit percentage denominator
+    /// (seconds), for callers whose wall clock lives outside the profile.
+    pub fn report_against(&self, denominator_seconds: f64) -> String {
+        let total = denominator_seconds.max(1e-300);
         let mut out = String::new();
         out.push_str(&format!(
             "{:<24} {:>12} {:>7} {:>10}\n",
@@ -226,5 +266,32 @@ mod tests {
         p.add("ilu", Duration::from_millis(10));
         let r = p.report();
         assert!(r.contains("flux") && r.contains("ilu"));
+    }
+
+    #[test]
+    fn envelope_total_bucket_does_not_halve_percentages() {
+        let mut p = PhaseTimers::new();
+        p.add("flux", Duration::from_millis(60));
+        p.add("ilu", Duration::from_millis(40));
+        p.add("total", Duration::from_millis(100));
+        assert!((p.run_seconds() - 0.100).abs() < 1e-9);
+        assert!((p.kernel_seconds() - 0.100).abs() < 1e-9);
+        let r = p.report();
+        // flux is 60% of the run, not 30% of the double-counted sum
+        let flux_line = r.lines().find(|l| l.starts_with("flux")).unwrap();
+        assert!(flux_line.contains("60.0%"), "bad line: {flux_line}");
+        let total_line = r.lines().find(|l| l.starts_with("total")).unwrap();
+        assert!(total_line.contains("100.0%"), "bad line: {total_line}");
+    }
+
+    #[test]
+    fn run_seconds_without_envelope_is_kernel_sum() {
+        let mut p = PhaseTimers::new();
+        p.add("flux", Duration::from_millis(30));
+        p.add("trsv", Duration::from_millis(70));
+        assert!((p.run_seconds() - 0.100).abs() < 1e-9);
+        let r = p.report_against(0.200);
+        let trsv_line = r.lines().find(|l| l.starts_with("trsv")).unwrap();
+        assert!(trsv_line.contains("35.0%"), "bad line: {trsv_line}");
     }
 }

@@ -39,4 +39,17 @@ cargo build --release --offline
 echo "== cargo test -q --offline =="
 cargo test -q --offline
 
+echo "== perf_report on the tiny mesh (telemetry artifacts) =="
+# Run the telemetry report end to end, then prove both artifacts are
+# machine-readable with the binary's own strict JSON parser (--check).
+cargo run --release --offline -q -p fun3d-bench --bin perf_report -- --mesh tiny --threads 2
+for artifact in target/experiments/perf_report.json target/experiments/perf_report.trace.json; do
+    if [ ! -f "$artifact" ]; then
+        echo "FAIL: missing telemetry artifact $artifact"
+        exit 1
+    fi
+    cargo run --release --offline -q -p fun3d-bench --bin perf_report -- --check "$artifact"
+done
+echo "ok: telemetry artifacts present and parsable"
+
 echo "verify: OK"
