@@ -249,6 +249,18 @@ fn main() {
         println!("load imbalance (max/mean busy): {imbalance:.3}\n");
     }
 
+    // ---- (b') synchronization cost: region launches + barriers ----
+    // The persistent-region work is judged by exactly these two numbers:
+    // how many fork-join region launches the run needed, and how many
+    // barrier phases replaced them inside persistent regions.
+    let region_launches = counters.get("pool.launch").map_or(0, |c| c.calls);
+    let barrier_crossings = counters.get("barrier.phase").map_or(0, |c| c.calls);
+    let regions_per_linear = region_launches as f64 / stats.linear_iters.max(1) as f64;
+    println!(
+        "synchronization: {region_launches} region launches, {barrier_crossings} barrier \
+         crossings, {regions_per_linear:.2} regions per linear iteration\n"
+    );
+
     // ---- (c) convergence history ----
     let residual = snap.series("ptc.residual");
     let dts = snap.series("ptc.dt");
@@ -300,6 +312,9 @@ fn main() {
                 ("linear_iters", Json::num(stats.linear_iters as f64)),
                 ("converged", Json::Bool(stats.converged)),
                 ("load_imbalance", Json::num(imbalance)),
+                ("region_launches", Json::num(region_launches as f64)),
+                ("barrier_crossings", Json::num(barrier_crossings as f64)),
+                ("regions_per_linear_iter", Json::num(regions_per_linear)),
                 ("dropped_spans", Json::num(dropped as f64)),
                 (
                     "telemetry_level",

@@ -1,0 +1,294 @@
+//! **sync_ablation** — synchronization-cost ablation for the solver.
+//!
+//! Region-per-op GMRES launches a pool region (a full fork-join
+//! rendezvous) for *every* vector op, SpMV, and triangular sweep;
+//! persistent-SPMD-region GMRES runs each Arnoldi iteration inside ONE
+//! region with spin-barrier phases and tree reductions inside. The two
+//! paths are bitwise identical at a fixed thread count, so any timing
+//! difference is pure synchronization cost — the shared-memory analogue
+//! of the paper's collectives discussion (the `MPI_Allreduce`-bound
+//! vector ops of Table 3).
+//!
+//! Emits, per thread count and mode:
+//!
+//! * median and MAD of the per-GMRES-iteration wall time;
+//! * pool regions launched per GMRES iteration (the fork-join count the
+//!   persistent restructuring is designed to collapse to ~1);
+//!
+//! and writes `target/experiments/sync_ablation.json`.
+//!
+//! Usage: `sync_ablation [--mesh <preset>] [--reps <n>] [--check <file>]`
+
+use fun3d_bench::{jacobian_fixture, KernelFixture};
+use fun3d_mesh::generator::MeshPreset;
+use fun3d_solver::{Gmres, GmresConfig, GmresExec, SerialIlu};
+use fun3d_threads::ThreadPool;
+use fun3d_util::report::{experiments_dir, fmt_g, write_json, Table};
+use fun3d_util::telemetry::json::Json;
+use std::sync::Arc;
+
+struct Args {
+    mesh: MeshPreset,
+    reps: usize,
+    check: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut out = Args {
+        mesh: MeshPreset::Tiny,
+        reps: 5,
+        check: None,
+    };
+    let args: Vec<String> = std::env::args().collect();
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--mesh" => {
+                i += 1;
+                out.mesh = MeshPreset::parse(&args[i])
+                    .unwrap_or_else(|| panic!("unknown mesh preset '{}'", args[i]));
+            }
+            "--reps" => {
+                i += 1;
+                out.reps = args[i].parse().expect("--reps takes an integer");
+            }
+            "--check" => {
+                i += 1;
+                out.check = Some(args[i].clone());
+            }
+            "--help" | "-h" => {
+                eprintln!("options: --mesh <tiny|small|medium|large> --reps <n> --check <json>");
+                std::process::exit(0);
+            }
+            other => panic!("unknown argument '{other}'"),
+        }
+        i += 1;
+    }
+    out
+}
+
+/// (median, MAD) of a sample set; MAD is reported in the same units.
+fn median_mad(samples: &mut [f64]) -> (f64, f64) {
+    assert!(!samples.is_empty());
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let med = samples[samples.len() / 2];
+    let mut dev: Vec<f64> = samples.iter().map(|s| (s - med).abs()).collect();
+    dev.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    (med, dev[dev.len() / 2])
+}
+
+struct ModeResult {
+    mode: &'static str,
+    threads: usize,
+    iterations: usize,
+    median_iter_s: f64,
+    mad_iter_s: f64,
+    regions_per_iter: f64,
+    history: Vec<f64>,
+}
+
+/// `--check` mode: the artifact rot guard run by scripts/verify.sh.
+fn check_artifact(path: &str) -> ! {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("check failed: cannot read {path}: {e}");
+        std::process::exit(1);
+    });
+    let doc = Json::parse(&text).unwrap_or_else(|e| {
+        eprintln!("check failed: {path} is not valid JSON: {e}");
+        std::process::exit(1);
+    });
+    let mut problems = Vec::new();
+    for key in ["mesh", "reps", "configs"] {
+        if doc.get(key).is_none() {
+            problems.push(format!("missing key '{key}'"));
+        }
+    }
+    let configs = doc.get("configs").and_then(Json::as_arr);
+    match configs {
+        None => problems.push("'configs' is not an array".to_string()),
+        Some(cfgs) => {
+            if cfgs.is_empty() {
+                problems.push("'configs' array is empty".to_string());
+            }
+            let mut per_op = std::collections::BTreeMap::new();
+            let mut team = std::collections::BTreeMap::new();
+            for c in cfgs {
+                let threads = c.get("threads").and_then(Json::as_f64);
+                let mode = c.get("mode").and_then(Json::as_str);
+                let rpi = c.get("regions_per_iter").and_then(Json::as_f64);
+                let med = c.get("median_iter_seconds").and_then(Json::as_f64);
+                match (threads, mode, rpi, med) {
+                    (Some(t), Some(mode), Some(rpi), Some(med)) => {
+                        if med <= 0.0 {
+                            problems.push(format!("non-positive median at {t} threads"));
+                        }
+                        match mode {
+                            "per-op" => {
+                                per_op.insert(t as usize, rpi);
+                            }
+                            "team" => {
+                                team.insert(t as usize, rpi);
+                            }
+                            other => problems.push(format!("unknown mode '{other}'")),
+                        }
+                    }
+                    _ => problems.push("malformed config entry".to_string()),
+                }
+            }
+            // The structural claim of the experiment: persistent regions
+            // collapse the fork-join count to ~1 per iteration, strictly
+            // below the per-op count at every thread count.
+            for (t, team_rpi) in &team {
+                match per_op.get(t) {
+                    None => problems.push(format!("no per-op row for {t} threads")),
+                    Some(po_rpi) => {
+                        if team_rpi >= po_rpi {
+                            problems.push(format!(
+                                "team regions/iter {team_rpi} not below per-op {po_rpi} at {t} threads"
+                            ));
+                        }
+                        if *team_rpi > 1.5 {
+                            problems.push(format!(
+                                "team regions/iter {team_rpi} at {t} threads (expected ~1)"
+                            ));
+                        }
+                    }
+                }
+            }
+            if team.is_empty() {
+                problems.push("no team rows".to_string());
+            }
+        }
+    }
+    if problems.is_empty() {
+        println!("{path}: OK");
+        std::process::exit(0);
+    }
+    for p in &problems {
+        eprintln!("check failed: {p}");
+    }
+    std::process::exit(1);
+}
+
+fn main() {
+    let args = parse_args();
+    if let Some(path) = &args.check {
+        check_artifact(path);
+    }
+
+    // Fixture: the assembled first-step Jacobian and its ILU(1) factors —
+    // the actual linear system the ΨNKS solve spends its time in.
+    let fix = KernelFixture::new(args.mesh);
+    let jac = jacobian_fixture(&fix, 2.0);
+    let n = jac.dim();
+    let b: Vec<f64> = (0..n).map(|i| ((i % 13) as f64 - 6.0) * 0.1).collect();
+    let cfg = GmresConfig {
+        rtol: 1e-10,
+        max_iters: 400,
+        ..Default::default()
+    };
+
+    let thread_counts = [1usize, 2, 4];
+    let mut results: Vec<ModeResult> = Vec::new();
+
+    for &nt in &thread_counts {
+        let pool = Arc::new(ThreadPool::new(nt));
+        let ilu = SerialIlu::new(&jac, 1).with_levels(pool.clone());
+        for mode in ["per-op", "team"] {
+            let mut samples = Vec::with_capacity(args.reps);
+            let mut iterations = 0usize;
+            let mut regions_per_iter = 0.0f64;
+            let mut history = Vec::new();
+            for _ in 0..args.reps {
+                let mut x = vec![0.0; n];
+                let mut gmres = Gmres::new(n, cfg);
+                let exec = match mode {
+                    "per-op" => GmresExec::PerOp(&pool),
+                    _ => GmresExec::Team(&pool),
+                };
+                let regions_before = pool.regions_launched();
+                let t = std::time::Instant::now();
+                let res = gmres.solve_with(&jac, &ilu, &b, &mut x, exec);
+                let secs = t.elapsed().as_secs_f64();
+                let regions = pool.regions_launched() - regions_before;
+                iterations = res.iterations;
+                samples.push(secs / res.iterations.max(1) as f64);
+                regions_per_iter = regions as f64 / res.iterations.max(1) as f64;
+                history = res.history;
+            }
+            let (median_iter_s, mad_iter_s) = median_mad(&mut samples);
+            results.push(ModeResult {
+                mode,
+                threads: nt,
+                iterations,
+                median_iter_s,
+                mad_iter_s,
+                regions_per_iter,
+                history,
+            });
+        }
+    }
+
+    // Sanity: per-op and team must agree bitwise at each thread count
+    // (this is the "pure synchronization cost" claim — fail loudly if
+    // the numerics ever drift).
+    for pair in results.chunks(2) {
+        assert_eq!(
+            pair[0].history, pair[1].history,
+            "per-op and team histories diverged at {} threads",
+            pair[0].threads
+        );
+    }
+
+    let mut table = Table::new(
+        &format!(
+            "sync_ablation: GMRES iteration cost, region-per-op vs persistent regions \
+             ({}, {} unknowns, {} reps)",
+            args.mesh.name(),
+            n,
+            args.reps
+        ),
+        &[
+            "threads", "mode", "iters", "s/iter (median)", "MAD", "regions/iter", "speedup",
+        ],
+    );
+    let mut configs_json = Vec::new();
+    for r in &results {
+        let per_op_median = results
+            .iter()
+            .find(|q| q.threads == r.threads && q.mode == "per-op")
+            .map(|q| q.median_iter_s)
+            .unwrap_or(r.median_iter_s);
+        table.row(&[
+            r.threads.to_string(),
+            r.mode.to_string(),
+            r.iterations.to_string(),
+            fmt_g(r.median_iter_s),
+            fmt_g(r.mad_iter_s),
+            format!("{:.2}", r.regions_per_iter),
+            format!("{:.2}x", per_op_median / r.median_iter_s),
+        ]);
+        configs_json.push(Json::obj(vec![
+            ("threads", Json::num(r.threads as f64)),
+            ("mode", Json::str(r.mode)),
+            ("iterations", Json::num(r.iterations as f64)),
+            ("median_iter_seconds", Json::num(r.median_iter_s)),
+            ("mad_iter_seconds", Json::num(r.mad_iter_s)),
+            ("regions_per_iter", Json::num(r.regions_per_iter)),
+            ("speedup_vs_per_op", Json::num(per_op_median / r.median_iter_s)),
+        ]));
+    }
+    fun3d_bench::emit("sync_ablation", &table);
+
+    let summary = Json::obj(vec![
+        ("mesh", Json::str(args.mesh.name())),
+        ("reps", Json::num(args.reps as f64)),
+        ("unknowns", Json::num(n as f64)),
+        ("configs", Json::Arr(configs_json)),
+    ]);
+    let dir = experiments_dir();
+    match write_json(&dir, "sync_ablation", &summary) {
+        Ok(p) => println!("[json summary written to {}]", p.display()),
+        Err(e) => eprintln!("warning: could not write json summary: {e}"),
+    }
+}

@@ -9,8 +9,8 @@ use fun3d_mesh::{reorder, DualMesh, Mesh};
 use fun3d_partition::{natural_partition, partition_graph, MultilevelConfig, OwnerWritesPlan};
 use fun3d_solver::precond::Preconditioner;
 use fun3d_solver::ptc::{self, PtcConfig, PtcProblem, PtcStats};
-use fun3d_sparse::{ilu, levels, p2p, trsv, Bcsr4, IluFactors, LevelSchedule, P2pSchedule};
-use fun3d_threads::ThreadPool;
+use fun3d_sparse::{ilu, levels, p2p, trsv, Bcsr4, IluFactors, LevelSchedule, P2pProgress, P2pSchedule};
+use fun3d_threads::{TeamMember, TeamSlice, ThreadPool};
 use fun3d_util::telemetry;
 use fun3d_util::PhaseTimers;
 use std::cell::RefCell;
@@ -57,6 +57,12 @@ pub struct OptConfig {
     /// scheme; exact for linear fields at all vertices) instead of
     /// edge-midpoint Green-Gauss.
     pub use_lsq_gradients: bool,
+    /// Run GMRES in persistent-SPMD-region mode: one pool region per
+    /// Arnoldi iteration (barrier phases + tree reductions inside)
+    /// instead of one region per vector op. Numerically identical to the
+    /// per-op path at a fixed thread count; kills the per-kernel
+    /// fork-join the paper's synchronization analysis targets.
+    pub team_regions: bool,
 }
 
 impl OptConfig {
@@ -72,6 +78,7 @@ impl OptConfig {
             use_limiter: false,
             ilu_lag: 1,
             use_lsq_gradients: false,
+            team_regions: false,
         }
     }
 
@@ -91,6 +98,7 @@ impl OptConfig {
             use_limiter: false,
             ilu_lag: 1,
             use_lsq_gradients: false,
+            team_regions: nthreads > 1,
         }
     }
 }
@@ -106,6 +114,8 @@ enum PrecondMode {
         pool: Arc<ThreadPool>,
         fwd: Arc<P2pSchedule>,
         bwd: Arc<P2pSchedule>,
+        fwd_progress: P2pProgress,
+        bwd_progress: P2pProgress,
     },
 }
 
@@ -130,7 +140,7 @@ impl Preconditioner for AppPrecond {
                 let x = levels::solve_levels(&self.factors, r, pool, fwd, bwd);
                 z.copy_from_slice(&x);
             }
-            PrecondMode::P2p { pool, fwd, bwd } => {
+            PrecondMode::P2p { pool, fwd, bwd, .. } => {
                 let x = p2p::solve_p2p(&self.factors, r, pool, fwd, bwd);
                 z.copy_from_slice(&x);
             }
@@ -140,6 +150,55 @@ impl Preconditioner for AppPrecond {
 
     fn dim(&self) -> usize {
         self.factors.nrows() * 4
+    }
+
+    unsafe fn apply_team(&self, tm: &TeamMember, r: TeamSlice, z: TeamSlice) {
+        let (tid, nt) = (tm.tid(), tm.nthreads());
+        // Timers/telemetry are leader-only: the main thread is parked in
+        // `pool.run` while the region executes, so the leader has
+        // exclusive use of the (non-Sync) Rc/RefCell state.
+        let t = (tid == 0).then(|| {
+            telemetry::record_kernel("trsv", crate::counts::trsv(&self.factors));
+            std::time::Instant::now()
+        });
+        match &self.mode {
+            PrecondMode::Serial => {
+                if tid == 0 {
+                    let _span = telemetry::span("trsv");
+                    let mut scratch = self.scratch.borrow_mut();
+                    // SAFETY: leader-only access between barriers.
+                    let rs = unsafe { r.slice(0..r.len()) };
+                    let zs = unsafe { z.slice_mut(0..z.len()) };
+                    trsv::solve_into(&self.factors, rs, &mut scratch, zs);
+                }
+                tm.barrier();
+            }
+            PrecondMode::Levels { fwd, bwd, .. } => {
+                // Forward r -> z, then backward in place (each level ends
+                // with a barrier, which also publishes the final z).
+                levels::forward_levels_team(&self.factors, r, z, tid, nt, fwd, tm.team().barrier());
+                levels::backward_levels_team(&self.factors, z, z, tid, nt, bwd, tm.team().barrier());
+            }
+            PrecondMode::P2p {
+                fwd,
+                bwd,
+                fwd_progress,
+                bwd_progress,
+                ..
+            } => {
+                assert_eq!(nt, fwd_progress.nthreads());
+                fwd_progress.reset_mine(tid);
+                bwd_progress.reset_mine(tid);
+                tm.barrier(); // publish resets (and r)
+                p2p::forward_p2p_team(&self.factors, r, z, tid, fwd, fwd_progress);
+                tm.barrier(); // fwd/bwd ownership partitions differ
+                p2p::backward_p2p_team(&self.factors, z, z, tid, bwd, bwd_progress);
+                tm.barrier(); // publish z
+            }
+        }
+        if let Some(t) = t {
+            self.timers.borrow_mut().add("trsv", t.elapsed());
+        }
     }
 }
 
@@ -436,6 +495,8 @@ impl PtcProblem for Fun3dApp {
                 pool: self.pool.clone().expect("p2p mode needs threads"),
                 fwd: self.p2p_fwd.clone().unwrap(),
                 bwd: self.p2p_bwd.clone().unwrap(),
+                fwd_progress: P2pProgress::new(self.cfg.nthreads),
+                bwd_progress: P2pProgress::new(self.cfg.nthreads),
             },
         };
         self.precond = Some(AppPrecond {
@@ -448,6 +509,14 @@ impl PtcProblem for Fun3dApp {
 
     fn preconditioner(&self) -> &dyn Preconditioner {
         self.precond.as_ref().expect("preconditioner not built")
+    }
+
+    fn solver_pool(&self) -> Option<Arc<ThreadPool>> {
+        self.pool.clone()
+    }
+
+    fn team_regions(&self) -> bool {
+        self.cfg.team_regions && self.pool.is_some()
     }
 }
 
@@ -614,5 +683,27 @@ mod tests {
         let mut app = build(cfg);
         let (_, stats) = app.run(&solve_config());
         assert!(stats.converged);
+    }
+
+    #[test]
+    fn team_regions_match_per_op_bitwise() {
+        // Persistent-region GMRES vs region-per-op GMRES at the same
+        // thread count: identical chunking and thread-order reductions
+        // make the whole nonlinear solve bitwise reproducible.
+        for ilu_parallel in [IluParallel::Levels, IluParallel::P2p] {
+            let run = |team: bool| {
+                let mut cfg = OptConfig::optimized(2);
+                cfg.ilu_parallel = ilu_parallel;
+                cfg.team_regions = team;
+                let mut app = build(cfg);
+                app.run(&solve_config())
+            };
+            let (u_per_op, s_per_op) = run(false);
+            let (u_team, s_team) = run(true);
+            assert!(s_per_op.converged && s_team.converged);
+            assert_eq!(s_per_op.res_history, s_team.res_history, "{ilu_parallel:?}");
+            assert_eq!(u_per_op, u_team, "{ilu_parallel:?}");
+            assert_eq!(s_per_op.linear_iters, s_team.linear_iters);
+        }
     }
 }

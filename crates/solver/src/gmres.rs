@@ -6,10 +6,30 @@
 //! primitives show up in the paper's profile), and a Givens-rotation
 //! least-squares update so the residual norm is available every iteration
 //! without forming the solution.
+//!
+//! Three execution modes ([`GmresExec`]):
+//!
+//! * **Serial** — stock single-threaded vector ops (the baseline).
+//! * **PerOp** — region-per-op threading: every vector op, SpMV, and
+//!   triangular sweep launches its own pool region (how "parallelize the
+//!   kernels one by one" naturally composes, and what the paper's
+//!   fork-join overhead measurements are about).
+//! * **Team** — persistent SPMD regions: each Arnoldi iteration (SpMV →
+//!   preconditioner → orthogonalization → basis update) runs inside
+//!   **one** region, with [`SpinBarrier`](fun3d_threads::SpinBarrier)
+//!   phases instead of region boundaries and tree reductions instead of
+//!   per-op rendezvous.
+//!
+//! PerOp and Team share identical chunking and thread-order reductions,
+//! so at a fixed thread count they produce bitwise-identical iterates and
+//! residual histories — the persistent-region restructuring changes only
+//! synchronization cost, not numerics.
 
 use crate::op::LinearOperator;
 use crate::precond::Preconditioner;
+use crate::team as team_ops;
 use crate::vecops;
+use fun3d_threads::{Team, TeamSlice, ThreadPool};
 
 /// GMRES parameters.
 #[derive(Clone, Copy, Debug)]
@@ -43,6 +63,18 @@ impl Default for GmresConfig {
     }
 }
 
+/// How the solve is executed (see module docs).
+#[derive(Clone, Copy)]
+pub enum GmresExec<'p> {
+    /// Single-threaded vector ops.
+    Serial,
+    /// Region-per-op threading on the given pool.
+    PerOp(&'p ThreadPool),
+    /// Persistent SPMD regions on the given pool: one region per Arnoldi
+    /// iteration.
+    Team(&'p ThreadPool),
+}
+
 /// Why GMRES stopped.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum GmresOutcome {
@@ -71,6 +103,31 @@ pub struct GmresResult {
     /// `MPI_Allreduce` would be in the distributed setting). Standard
     /// CGS-GMRES performs 2 per iteration; single-reduction mode 1.
     pub reductions: usize,
+    /// Per-iteration Givens residual norms, in iteration order across
+    /// restarts. Execution-path equivalence is asserted on this.
+    pub history: Vec<f64>,
+}
+
+/// Shared-reference wrapper asserting team-call safety for trait objects
+/// captured by a region closure.
+///
+/// SAFETY: inside regions the wrapped reference is only used through the
+/// `apply_team` methods, whose trait contracts require data-race freedom
+/// under concurrent calls from one team (the default `Preconditioner`
+/// implementation confines `self` to the barrier-ordered leader, so even
+/// non-`Sync` preconditioners are sound). Operators are dereferenced
+/// in-region only when `team_capable()` holds.
+struct AssertTeamSafe<'a, T: ?Sized>(&'a T);
+unsafe impl<T: ?Sized> Sync for AssertTeamSafe<'_, T> {}
+unsafe impl<T: ?Sized> Send for AssertTeamSafe<'_, T> {}
+
+impl<T: ?Sized> AssertTeamSafe<'_, T> {
+    /// Accessor (rather than field access) so region closures capture the
+    /// wrapper — 2021-edition closures capture individual fields, which
+    /// would reintroduce the raw non-`Sync` reference.
+    fn get(&self) -> &T {
+        self.0
+    }
 }
 
 /// Workspace-owning GMRES solver (buffers reused across calls).
@@ -96,13 +153,43 @@ impl Gmres {
     }
 
     /// Solves `A x = b` with left preconditioning, starting from the
-    /// current contents of `x` (use zeros for a fresh solve).
+    /// current contents of `x` (use zeros for a fresh solve). Serial
+    /// execution; see [`Gmres::solve_with`] for the threaded modes.
     pub fn solve(
         &mut self,
         a: &dyn LinearOperator,
         m: &dyn Preconditioner,
         b: &[f64],
         x: &mut [f64],
+    ) -> GmresResult {
+        self.solve_with(a, m, b, x, GmresExec::Serial)
+    }
+
+    /// Solves `A x = b` under the chosen execution mode.
+    pub fn solve_with(
+        &mut self,
+        a: &dyn LinearOperator,
+        m: &dyn Preconditioner,
+        b: &[f64],
+        x: &mut [f64],
+        exec: GmresExec,
+    ) -> GmresResult {
+        match exec {
+            GmresExec::Serial => self.solve_seq(a, m, b, x, None),
+            GmresExec::PerOp(pool) => self.solve_seq(a, m, b, x, Some(pool)),
+            GmresExec::Team(pool) => self.solve_team(a, m, b, x, pool),
+        }
+    }
+
+    /// Serial and region-per-op paths: one control flow, ops dispatched
+    /// per call site (`pool: None` = serial).
+    fn solve_seq(
+        &mut self,
+        a: &dyn LinearOperator,
+        m: &dyn Preconditioner,
+        b: &[f64],
+        x: &mut [f64],
+        pool: Option<&ThreadPool>,
     ) -> GmresResult {
         let n = b.len();
         assert_eq!(a.dim(), n);
@@ -112,15 +199,23 @@ impl Gmres {
         let mut total_iters = 0usize;
         let mut reductions = 0usize;
         let mut residual0 = f64::NAN;
+        let mut history = Vec::new();
 
         loop {
             // r = M^{-1} (b - A x)
-            a.apply(x, &mut self.work);
-            for i in 0..n {
-                self.work[i] = b[i] - self.work[i];
+            match pool {
+                None => a.apply(x, &mut self.work),
+                Some(p) => a.apply_parallel(p, x, &mut self.work),
+            }
+            match pool {
+                None => vecops::bsub(&mut self.work, b),
+                Some(p) => vecops::par::bsub(p, &mut self.work, b),
             }
             m.apply(&self.work, &mut self.work2);
-            let beta = vecops::norm2(&self.work2);
+            let beta = match pool {
+                None => vecops::norm2(&self.work2),
+                Some(p) => vecops::par::norm2(p, &self.work2),
+            };
             reductions += 1;
             if residual0.is_nan() {
                 residual0 = beta;
@@ -132,6 +227,7 @@ impl Gmres {
                     residual: beta,
                     residual0,
                     reductions,
+                    history,
                 };
             }
             if beta <= self.config.rtol * residual0 {
@@ -141,11 +237,13 @@ impl Gmres {
                     residual: beta,
                     residual0,
                     reductions,
+                    history,
                 };
             }
             // v1 = r/beta
-            for i in 0..n {
-                self.basis[0][i] = self.work2[i] / beta;
+            match pool {
+                None => vecops::div_into(&mut self.basis[0], &self.work2, beta),
+                Some(p) => vecops::par::div_into(p, &mut self.basis[0], &self.work2, beta),
             }
             let mut g = vec![0.0; restart + 1];
             g[0] = beta;
@@ -162,7 +260,10 @@ impl Gmres {
                 }
                 total_iters += 1;
                 // w = M^{-1} A v_k
-                a.apply(&self.basis[k], &mut self.work);
+                match pool {
+                    None => a.apply(&self.basis[k], &mut self.work),
+                    Some(p) => a.apply_parallel(p, &self.basis[k], &mut self.work),
+                }
                 m.apply(&self.work, &mut self.work2);
                 // classical Gram-Schmidt: h[0..=k] = V^T w, w -= V h.
                 // In single-reduction mode, <w,w> joins the same fused
@@ -174,12 +275,18 @@ impl Gmres {
                         let mut fused: Vec<&[f64]> = refs.clone();
                         fused.push(&self.work2);
                         let mut out = vec![0.0; k + 2];
-                        vecops::mdot(&self.work2, &fused, &mut out);
+                        match pool {
+                            None => vecops::mdot(&self.work2, &fused, &mut out),
+                            Some(p) => vecops::par::mdot(p, &self.work2, &fused, &mut out),
+                        }
                         reductions += 1;
                         let ww = out.pop().unwrap();
                         let coeffs = out;
                         let neg: Vec<f64> = coeffs.iter().map(|c| -c).collect();
-                        vecops::maxpy(&mut self.work2, &neg, &refs);
+                        match pool {
+                            None => vecops::maxpy(&mut self.work2, &neg, &refs),
+                            Some(p) => vecops::par::maxpy(p, &mut self.work2, &neg, &refs),
+                        }
                         for (i, c) in coeffs.iter().enumerate() {
                             self.h[k * (restart + 1) + i] = *c;
                         }
@@ -192,21 +299,33 @@ impl Gmres {
                         // 1% of ‖w‖² survives (one extra reduction on
                         // those iterations — still fewer on net).
                         if hkk2 < 1e-2 * ww {
-                            hkk2 = vecops::dot(&self.work2, &self.work2);
+                            hkk2 = match pool {
+                                None => vecops::dot(&self.work2, &self.work2),
+                                Some(p) => vecops::par::dot(p, &self.work2, &self.work2),
+                            };
                             reductions += 1;
                         }
                         hkk2.max(0.0).sqrt()
                     } else {
                         let mut coeffs = vec![0.0; k + 1];
-                        vecops::mdot(&self.work2, &refs, &mut coeffs);
+                        match pool {
+                            None => vecops::mdot(&self.work2, &refs, &mut coeffs),
+                            Some(p) => vecops::par::mdot(p, &self.work2, &refs, &mut coeffs),
+                        }
                         reductions += 1;
                         let neg: Vec<f64> = coeffs.iter().map(|c| -c).collect();
-                        vecops::maxpy(&mut self.work2, &neg, &refs);
+                        match pool {
+                            None => vecops::maxpy(&mut self.work2, &neg, &refs),
+                            Some(p) => vecops::par::maxpy(p, &mut self.work2, &neg, &refs),
+                        }
                         for (i, c) in coeffs.iter().enumerate() {
                             self.h[k * (restart + 1) + i] = *c;
                         }
                         reductions += 1;
-                        vecops::norm2(&self.work2)
+                        match pool {
+                            None => vecops::norm2(&self.work2),
+                            Some(p) => vecops::par::norm2(p, &self.work2),
+                        }
                     }
                 };
                 self.h[k * (restart + 1) + k + 1] = hkk;
@@ -214,8 +333,11 @@ impl Gmres {
                 if hkk <= 1e-14 * res.max(1.0) {
                     finished = Some(GmresOutcome::Breakdown);
                 } else {
-                    for i in 0..n {
-                        self.basis[k + 1][i] = self.work2[i] / hkk;
+                    let (head, tail) = self.basis.split_at_mut(k + 1);
+                    let _ = head;
+                    match pool {
+                        None => vecops::div_into(&mut tail[0], &self.work2, hkk),
+                        Some(p) => vecops::par::div_into(p, &mut tail[0], &self.work2, hkk),
                     }
                 }
                 // apply existing Givens rotations to column k
@@ -235,6 +357,7 @@ impl Gmres {
                 g[k + 1] = -s * g[k] + c * g[k + 1];
                 g[k] = t;
                 res = g[k + 1].abs();
+                history.push(res);
 
                 if res <= self.config.atol {
                     finished = Some(GmresOutcome::ConvergedAtol);
@@ -260,7 +383,10 @@ impl Gmres {
             {
                 let refs: Vec<&[f64]> =
                     self.basis[..kk].iter().map(|v| v.as_slice()).collect();
-                vecops::maxpy(x, &y, &refs);
+                match pool {
+                    None => vecops::maxpy(x, &y, &refs),
+                    Some(p) => vecops::par::maxpy(p, x, &y, &refs),
+                }
             }
 
             match finished {
@@ -271,6 +397,7 @@ impl Gmres {
                         residual: res,
                         residual0,
                         reductions,
+                        history,
                     }
                 }
                 None => {
@@ -281,6 +408,298 @@ impl Gmres {
                             residual: res,
                             residual0,
                             reductions,
+                            history,
+                        };
+                    }
+                    // restart
+                }
+            }
+        }
+    }
+
+    /// Persistent-SPMD path: one pool region per Arnoldi iteration (plus
+    /// one at cycle start and one for the solution update per restart
+    /// cycle), barrier phases inside. Operators that are not
+    /// `team_capable` are applied by the main thread *between* regions
+    /// (hybrid mode — matrix-free operators launch their own regions).
+    ///
+    /// Scalar recurrences (Givens rotations, Hessenberg bookkeeping,
+    /// convergence control) stay on the main thread between regions;
+    /// regions hand back the reduced scalars through a mailbox buffer.
+    fn solve_team(
+        &mut self,
+        a: &dyn LinearOperator,
+        m: &dyn Preconditioner,
+        b: &[f64],
+        x: &mut [f64],
+        pool: &ThreadPool,
+    ) -> GmresResult {
+        let n = b.len();
+        assert_eq!(a.dim(), n);
+        assert_eq!(x.len(), n);
+        let restart = self.config.restart;
+        let nt = pool.size();
+        let team = Team::new(nt, restart + 2);
+        let hybrid = !a.team_capable();
+        let single = self.config.single_reduction;
+        let (atol, rtol) = (self.config.atol, self.config.rtol);
+
+        // Borrow-erased views shared with the region closures. From here
+        // on, these buffers are touched only through the views: by the
+        // team inside regions, by the main thread between them.
+        let x_s = TeamSlice::new(x);
+        let b_s = TeamSlice::from_raw(b.as_ptr() as *mut f64, n);
+        let work_s = TeamSlice::new(&mut self.work);
+        let work2_s = TeamSlice::new(&mut self.work2);
+        let basis_s: Vec<TeamSlice> = self.basis.iter_mut().map(|v| TeamSlice::new(v)).collect();
+        // Region → main-thread mailbox: beta / Gram-Schmidt coefficients
+        // in [0..restart+1), h_{k+1,k} at [restart+1], extra-reduction
+        // flag at [restart+2]. Leader-written, read between regions.
+        let mut cell = vec![0.0f64; restart + 3];
+        let cell_s = TeamSlice::new(&mut cell);
+
+        let a_sync = AssertTeamSafe(a);
+        let m_sync = AssertTeamSafe(m);
+
+        let mut total_iters = 0usize;
+        let mut reductions = 0usize;
+        let mut residual0 = f64::NAN;
+        let mut history = Vec::new();
+
+        loop {
+            // Cycle start: r = M^{-1}(b - A x), beta, v1 — one region.
+            if hybrid {
+                // SAFETY: no region is active; main thread owns the views.
+                unsafe {
+                    let xs = x_s.slice(0..n);
+                    let ws = work_s.slice_mut(0..n);
+                    a.apply(xs, ws);
+                }
+            }
+            let r0_in = residual0;
+            pool.run(|tid| {
+                // SAFETY: one member per tid per region.
+                let tm = unsafe { team.member(tid) };
+                if !hybrid {
+                    // SAFETY: trait contract — team_capable() holds.
+                    unsafe { a_sync.get().apply_team(&tm, x_s, work_s) };
+                    tm.barrier();
+                }
+                team_ops::bsub(&tm, work_s, b_s);
+                tm.barrier();
+                // SAFETY: r (work) published by the barrier above.
+                unsafe { m_sync.get().apply_team(&tm, work_s, work2_s) };
+                let beta = team_ops::norm2(&tm, work2_s);
+                if tid == 0 {
+                    // SAFETY: leader-only write, read after the region.
+                    unsafe { cell_s.set(0, beta) };
+                }
+                // Every thread holds identical beta (deterministic tree
+                // reduce), so the convergence branch is uniform; the
+                // main thread re-derives the same decision below.
+                let r0v = if r0_in.is_nan() { beta } else { r0_in };
+                if !(beta <= atol || beta <= rtol * r0v) {
+                    team_ops::div_into(&tm, basis_s[0], work2_s, beta);
+                }
+            });
+            let beta = cell[0];
+            reductions += 1;
+            if residual0.is_nan() {
+                residual0 = beta;
+            }
+            if beta <= atol {
+                return GmresResult {
+                    outcome: GmresOutcome::ConvergedAtol,
+                    iterations: total_iters,
+                    residual: beta,
+                    residual0,
+                    reductions,
+                    history,
+                };
+            }
+            if beta <= rtol * residual0 {
+                return GmresResult {
+                    outcome: GmresOutcome::ConvergedRtol,
+                    iterations: total_iters,
+                    residual: beta,
+                    residual0,
+                    reductions,
+                    history,
+                };
+            }
+            let mut g = vec![0.0; restart + 1];
+            g[0] = beta;
+            let mut cs = vec![0.0; restart];
+            let mut sn = vec![0.0; restart];
+            let mut k_done = 0usize;
+            let mut finished: Option<GmresOutcome> = None;
+            let mut res = beta;
+
+            for k in 0..restart {
+                if total_iters >= self.config.max_iters {
+                    finished = Some(GmresOutcome::MaxIterations);
+                    break;
+                }
+                total_iters += 1;
+                if hybrid {
+                    // SAFETY: no region active.
+                    unsafe {
+                        let vk = basis_s[k].slice(0..n);
+                        let ws = work_s.slice_mut(0..n);
+                        a.apply(vk, ws);
+                    }
+                }
+                // One region: w = M⁻¹ A v_k, CGS orthogonalization, new
+                // basis vector. Reduced scalars are identical on every
+                // thread, so all branches are uniform across the team.
+                let res_in = res;
+                let basis_prefix = &basis_s[..=k];
+                let basis_next = basis_s[k + 1];
+                pool.run(|tid| {
+                    let tm = unsafe { team.member(tid) };
+                    if !hybrid {
+                        // SAFETY: v_k published at the previous region's
+                        // close; trait contract for concurrency.
+                        unsafe { a_sync.get().apply_team(&tm, basis_prefix[k], work_s) };
+                        tm.barrier();
+                    }
+                    // SAFETY: work published (barrier above or region
+                    // entry in hybrid mode).
+                    unsafe { m_sync.get().apply_team(&tm, work_s, work2_s) };
+                    let (hkk, extra) = if single {
+                        let mut list: Vec<TeamSlice> = basis_prefix.to_vec();
+                        list.push(work2_s);
+                        let mut out = vec![0.0; k + 2];
+                        team_ops::mdot(&tm, work2_s, &list, &mut out);
+                        let ww = out[k + 1];
+                        let coeffs = &out[..k + 1];
+                        let neg: Vec<f64> = coeffs.iter().map(|c| -c).collect();
+                        team_ops::maxpy(&tm, work2_s, &neg, basis_prefix);
+                        if tid == 0 {
+                            // SAFETY: leader-only mailbox write.
+                            unsafe {
+                                for (i, c) in coeffs.iter().enumerate() {
+                                    cell_s.set(i, *c);
+                                }
+                            }
+                        }
+                        let h2: f64 = coeffs.iter().map(|c| c * c).sum();
+                        let mut hkk2 = ww - h2;
+                        let mut extra = 0.0;
+                        if hkk2 < 1e-2 * ww {
+                            hkk2 = team_ops::dot(&tm, work2_s, work2_s);
+                            extra = 1.0;
+                        }
+                        (hkk2.max(0.0).sqrt(), extra)
+                    } else {
+                        let mut coeffs = vec![0.0; k + 1];
+                        team_ops::mdot(&tm, work2_s, basis_prefix, &mut coeffs);
+                        let neg: Vec<f64> = coeffs.iter().map(|c| -c).collect();
+                        team_ops::maxpy(&tm, work2_s, &neg, basis_prefix);
+                        let hkk = team_ops::norm2(&tm, work2_s);
+                        if tid == 0 {
+                            // SAFETY: leader-only mailbox write.
+                            unsafe {
+                                for (i, c) in coeffs.iter().enumerate() {
+                                    cell_s.set(i, *c);
+                                }
+                            }
+                        }
+                        (hkk, 0.0)
+                    };
+                    if tid == 0 {
+                        // SAFETY: leader-only mailbox write.
+                        unsafe {
+                            cell_s.set(restart + 1, hkk);
+                            cell_s.set(restart + 2, extra);
+                        }
+                    }
+                    if !(hkk <= 1e-14 * res_in.max(1.0)) {
+                        team_ops::div_into(&tm, basis_next, work2_s, hkk);
+                    }
+                });
+                reductions += 1;
+                if single {
+                    reductions += cell[restart + 2] as usize;
+                } else {
+                    reductions += 1;
+                }
+                for i in 0..=k {
+                    self.h[k * (restart + 1) + i] = cell[i];
+                }
+                let hkk = cell[restart + 1];
+                self.h[k * (restart + 1) + k + 1] = hkk;
+                k_done = k + 1;
+                if hkk <= 1e-14 * res.max(1.0) {
+                    finished = Some(GmresOutcome::Breakdown);
+                }
+                // apply existing Givens rotations to column k
+                let col = &mut self.h[k * (restart + 1)..(k + 1) * (restart + 1)];
+                for i in 0..k {
+                    let t = cs[i] * col[i] + sn[i] * col[i + 1];
+                    col[i + 1] = -sn[i] * col[i] + cs[i] * col[i + 1];
+                    col[i] = t;
+                }
+                let (c, s) = givens(col[k], col[k + 1]);
+                cs[k] = c;
+                sn[k] = s;
+                col[k] = c * col[k] + s * col[k + 1];
+                col[k + 1] = 0.0;
+                let t = c * g[k] + s * g[k + 1];
+                g[k + 1] = -s * g[k] + c * g[k + 1];
+                g[k] = t;
+                res = g[k + 1].abs();
+                history.push(res);
+
+                if res <= atol {
+                    finished = Some(GmresOutcome::ConvergedAtol);
+                } else if res <= rtol * residual0 {
+                    finished = Some(GmresOutcome::ConvergedRtol);
+                }
+                if finished.is_some() {
+                    break;
+                }
+            }
+
+            // back-substitution on the main thread
+            let kk = k_done;
+            let mut y = vec![0.0; kk];
+            for i in (0..kk).rev() {
+                let mut acc = g[i];
+                for j in i + 1..kk {
+                    acc -= self.h[j * (restart + 1) + i] * y[j];
+                }
+                y[i] = acc / self.h[i * (restart + 1) + i];
+            }
+            // x += V y — one region.
+            if kk > 0 {
+                let basis_used = &basis_s[..kk];
+                pool.run(|tid| {
+                    let tm = unsafe { team.member(tid) };
+                    team_ops::maxpy(&tm, x_s, &y, basis_used);
+                });
+            }
+
+            match finished {
+                Some(outcome) => {
+                    return GmresResult {
+                        outcome,
+                        iterations: total_iters,
+                        residual: res,
+                        residual0,
+                        reductions,
+                        history,
+                    }
+                }
+                None => {
+                    if total_iters >= self.config.max_iters {
+                        return GmresResult {
+                            outcome: GmresOutcome::MaxIterations,
+                            iterations: total_iters,
+                            residual: res,
+                            residual0,
+                            reductions,
+                            history,
                         };
                     }
                     // restart
@@ -348,6 +767,7 @@ mod tests {
             GmresOutcome::ConvergedRtol | GmresOutcome::ConvergedAtol | GmresOutcome::Breakdown
         ));
         check_solution(&a, &b, &x, 1e-7);
+        assert_eq!(res.history.len(), res.iterations);
     }
 
     #[test]
@@ -517,5 +937,163 @@ mod tests {
         .solve(&a, &IdentityPrecond(n), &b, &mut vec![0.0; n]);
         assert!(tight.iterations >= loose.iterations);
         assert!(tight.residual <= loose.residual);
+    }
+
+    // ---- persistent-region (team) execution ----
+
+    use fun3d_threads::ThreadPool;
+
+    fn solve_mode(
+        a: &Bcsr4,
+        m: &dyn Preconditioner,
+        b: &[f64],
+        cfg: GmresConfig,
+        exec: GmresExec,
+    ) -> (GmresResult, Vec<f64>) {
+        let n = a.dim();
+        let mut x = vec![0.0; n];
+        let r = Gmres::new(n, cfg).solve_with(a, m, b, &mut x, exec);
+        (r, x)
+    }
+
+    #[test]
+    fn team_matches_per_op_bitwise_identity_precond() {
+        let a = mesh_matrix(81);
+        let n = a.dim();
+        let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.31).sin()).collect();
+        let cfg = GmresConfig {
+            rtol: 1e-8,
+            max_iters: 400,
+            ..Default::default()
+        };
+        for nt in [1usize, 2, 4] {
+            let pool = ThreadPool::new(nt);
+            let m = IdentityPrecond(n);
+            let (rp, xp) = solve_mode(&a, &m, &b, cfg, GmresExec::PerOp(&pool));
+            let (rt, xt) = solve_mode(&a, &m, &b, cfg, GmresExec::Team(&pool));
+            assert_eq!(rp.iterations, rt.iterations, "nt={nt}");
+            assert_eq!(rp.history, rt.history, "nt={nt}: residual history must be identical");
+            assert_eq!(xp, xt, "nt={nt}: iterates must be bitwise identical");
+            assert_eq!(rp.reductions, rt.reductions, "nt={nt}");
+        }
+    }
+
+    #[test]
+    fn team_matches_per_op_bitwise_ilu_levels_and_p2p() {
+        let a = mesh_matrix(82);
+        let n = a.dim();
+        let b: Vec<f64> = (0..n).map(|i| ((i % 11) as f64) - 5.0).collect();
+        let cfg = GmresConfig {
+            rtol: 1e-9,
+            max_iters: 300,
+            ..Default::default()
+        };
+        for nt in [2usize, 4] {
+            let pool = std::sync::Arc::new(ThreadPool::new(nt));
+            for mode in ["levels", "p2p"] {
+                let ilu = match mode {
+                    "levels" => SerialIlu::new(&a, 0).with_levels(pool.clone()),
+                    _ => SerialIlu::new(&a, 0).with_p2p(pool.clone()),
+                };
+                let (rp, xp) = solve_mode(&a, &ilu, &b, cfg, GmresExec::PerOp(&pool));
+                let (rt, xt) = solve_mode(&a, &ilu, &b, cfg, GmresExec::Team(&pool));
+                assert_eq!(rp.history, rt.history, "nt={nt} {mode}");
+                assert_eq!(xp, xt, "nt={nt} {mode}");
+            }
+        }
+    }
+
+    #[test]
+    fn team_single_reduction_matches_per_op() {
+        let a = mesh_matrix(83);
+        let n = a.dim();
+        let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.17).cos()).collect();
+        let cfg = GmresConfig {
+            rtol: 1e-8,
+            max_iters: 400,
+            single_reduction: true,
+            ..Default::default()
+        };
+        let pool = ThreadPool::new(3);
+        let m = IdentityPrecond(n);
+        let (rp, xp) = solve_mode(&a, &m, &b, cfg, GmresExec::PerOp(&pool));
+        let (rt, xt) = solve_mode(&a, &m, &b, cfg, GmresExec::Team(&pool));
+        assert_eq!(rp.history, rt.history);
+        assert_eq!(xp, xt);
+        assert_eq!(rp.reductions, rt.reductions);
+    }
+
+    #[test]
+    fn team_one_region_per_iteration() {
+        // Single restart cycle: regions = 1 (cycle start) + iterations
+        // (one per Arnoldi step) + 1 (x += V y).
+        let a = mesh_matrix(84);
+        let n = a.dim();
+        let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.23).sin()).collect();
+        let cfg = GmresConfig {
+            rtol: 1e-6,
+            max_iters: 200,
+            ..Default::default()
+        };
+        let pool = std::sync::Arc::new(ThreadPool::new(2));
+        let ilu = SerialIlu::new(&a, 0).with_levels(pool.clone());
+        let before = pool.regions_launched();
+        let (rt, _) = solve_mode(&a, &ilu, &b, cfg, GmresExec::Team(&pool));
+        let regions = pool.regions_launched() - before;
+        assert!(
+            rt.iterations < cfg.restart,
+            "test premise: one cycle ({} iters)",
+            rt.iterations
+        );
+        assert_eq!(regions, rt.iterations as u64 + 2);
+    }
+
+    #[test]
+    fn team_hybrid_mode_for_non_team_operators() {
+        // A matrix-free FD Jacobian is not team-capable (it launches its
+        // own regions / holds RefCell scratch): the team path must apply
+        // it between regions and still converge to the same solution.
+        let a = mesh_matrix(85);
+        let n = a.dim();
+        let residual = |u: &[f64], r: &mut [f64]| a.spmv(u, r);
+        let u = vec![0.0; n];
+        let mut r0 = vec![0.0; n];
+        residual(&u, &mut r0);
+        let jac = crate::op::FdJacobian::new(residual, &u, &r0, &[]);
+        assert!(!jac.team_capable());
+        let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.41).sin()).collect();
+        let cfg = GmresConfig {
+            rtol: 1e-8,
+            max_iters: 600,
+            ..Default::default()
+        };
+        let pool = ThreadPool::new(2);
+        let mut x = vec![0.0; n];
+        let r = Gmres::new(n, cfg).solve_with(&jac, &IdentityPrecond(n), &b, &mut x, GmresExec::Team(&pool));
+        assert!(matches!(
+            r.outcome,
+            GmresOutcome::ConvergedRtol | GmresOutcome::ConvergedAtol | GmresOutcome::Breakdown
+        ));
+        check_solution(&a, &b, &x, 1e-6);
+    }
+
+    #[test]
+    fn serial_path_unchanged_by_refactor() {
+        // solve() must still be the stock serial path: same outcome and
+        // history as an explicit GmresExec::Serial.
+        let a = mesh_matrix(86);
+        let n = a.dim();
+        let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.53).cos()).collect();
+        let cfg = GmresConfig {
+            rtol: 1e-8,
+            max_iters: 300,
+            ..Default::default()
+        };
+        let mut x1 = vec![0.0; n];
+        let r1 = Gmres::new(n, cfg).solve(&a, &IdentityPrecond(n), &b, &mut x1);
+        let mut x2 = vec![0.0; n];
+        let r2 = Gmres::new(n, cfg).solve_with(&a, &IdentityPrecond(n), &b, &mut x2, GmresExec::Serial);
+        assert_eq!(r1.history, r2.history);
+        assert_eq!(x1, x2);
     }
 }

@@ -17,7 +17,10 @@
 //!   additive Schwarz) ILU preconditioners with serial, level-scheduled
 //!   and P2P-synchronized application;
 //! * [`gmres`] — left-preconditioned GMRES(m) with classical Gram-Schmidt
-//!   (PETSc's default KSP for this code) and Givens least squares;
+//!   (PETSc's default KSP for this code) and Givens least squares, in
+//!   serial, region-per-op, and persistent-SPMD-region execution modes;
+//! * [`team`] — the in-region vector primitives those persistent regions
+//!   are built from (barrier phases + tree reductions, no fork-join);
 //! * [`ptc`] — pseudo-transient continuation with switched evolution
 //!   relaxation (Mulder & Van Leer [11]): `Δt` grows as the steady
 //!   residual falls, driving Newton to the steady state.
@@ -26,9 +29,10 @@ pub mod gmres;
 pub mod op;
 pub mod precond;
 pub mod ptc;
+pub mod team;
 pub mod vecops;
 
-pub use gmres::{Gmres, GmresConfig, GmresOutcome};
+pub use gmres::{Gmres, GmresConfig, GmresExec, GmresOutcome, GmresResult};
 pub use op::{FdJacobian, LinearOperator, ShiftedOperator};
 pub use precond::{BlockJacobiIlu, IdentityPrecond, IluApply, Preconditioner, SerialIlu};
 pub use ptc::{PtcConfig, PtcProblem, PtcStats};

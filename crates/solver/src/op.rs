@@ -1,13 +1,44 @@
 //! Linear operators for the Krylov solver.
 
 use fun3d_sparse::Bcsr4;
+use fun3d_threads::{TeamMember, TeamSlice, ThreadPool};
 
 /// Anything that can apply `y = A x`.
 pub trait LinearOperator {
     /// Scalar dimension of the operator.
     fn dim(&self) -> usize;
+
     /// Applies the operator: `y = A x`.
     fn apply(&self, x: &[f64], y: &mut [f64]);
+
+    /// Region-per-op threaded apply (one pool region). Defaults to the
+    /// serial apply; assembled operators override with a parallel SpMV.
+    fn apply_parallel(&self, _pool: &ThreadPool, x: &[f64], y: &mut [f64]) {
+        self.apply(x, y);
+    }
+
+    /// True when [`LinearOperator::apply_team`] is implemented, i.e. the
+    /// operator can run inside a persistent SPMD region. Matrix-free
+    /// operators that launch their own pool regions (e.g. an FD Jacobian
+    /// whose residual is threaded) must return `false`; the solver then
+    /// applies them on the main thread *between* regions (hybrid mode).
+    fn team_capable(&self) -> bool {
+        false
+    }
+
+    /// Applies this thread's share of `y = A x` inside a running SPMD
+    /// region. `x` must be fully published (barrier or region entry)
+    /// before the call; the caller barriers before any cross-chunk read
+    /// of `y`.
+    ///
+    /// # Safety
+    /// Called concurrently by every thread of the team. Implementations
+    /// (and the data they touch) must be data-race free under that
+    /// calling pattern. Only called when [`LinearOperator::team_capable`]
+    /// returns `true`.
+    unsafe fn apply_team(&self, _tm: &TeamMember, _x: TeamSlice, _y: TeamSlice) {
+        unimplemented!("operator is not team-capable (team_capable() == false)")
+    }
 }
 
 impl LinearOperator for Bcsr4 {
@@ -17,6 +48,21 @@ impl LinearOperator for Bcsr4 {
 
     fn apply(&self, x: &[f64], y: &mut [f64]) {
         self.spmv(x, y);
+    }
+
+    fn apply_parallel(&self, pool: &ThreadPool, x: &[f64], y: &mut [f64]) {
+        self.spmv_parallel(pool, x, y);
+    }
+
+    fn team_capable(&self) -> bool {
+        true
+    }
+
+    unsafe fn apply_team(&self, tm: &TeamMember, x: TeamSlice, y: TeamSlice) {
+        // SAFETY: x is published per the trait contract; spmv_team writes
+        // disjoint row chunks.
+        let xs = unsafe { x.slice(0..x.len()) };
+        self.spmv_team(tm.tid(), tm.nthreads(), xs, y);
     }
 }
 
@@ -116,6 +162,38 @@ impl LinearOperator for ShiftedOperator<'_> {
         if !self.shift.is_empty() {
             for i in 0..y.len() {
                 y[i] += self.shift[i] * x[i];
+            }
+        }
+    }
+
+    fn apply_parallel(&self, pool: &ThreadPool, x: &[f64], y: &mut [f64]) {
+        self.a.spmv_parallel(pool, x, y);
+        if !self.shift.is_empty() {
+            for i in 0..y.len() {
+                y[i] += self.shift[i] * x[i];
+            }
+        }
+    }
+
+    fn team_capable(&self) -> bool {
+        true
+    }
+
+    unsafe fn apply_team(&self, tm: &TeamMember, x: TeamSlice, y: TeamSlice) {
+        let (tid, nt) = (tm.tid(), tm.nthreads());
+        // SAFETY: x published per the trait contract.
+        let xs = unsafe { x.slice(0..x.len()) };
+        self.a.spmv_team(tid, nt, xs, y);
+        if !self.shift.is_empty() {
+            // Shift over the scalar span of this thread's *row* chunk, so
+            // every element touched here was just written by this thread
+            // (no barrier needed between SpMV and shift).
+            let rows = fun3d_threads::chunk_range(self.a.nrows(), nt, tid);
+            // SAFETY: disjoint per-thread spans.
+            unsafe {
+                for i in rows.start * 4..rows.end * 4 {
+                    y.set(i, y.get(i) + self.shift[i] * x.get(i));
+                }
             }
         }
     }

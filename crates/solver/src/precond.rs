@@ -7,8 +7,8 @@
 //! application can run serially, level-scheduled, or with P2P sparsified
 //! synchronization — the three strategies of Fig. 7.
 
-use fun3d_sparse::{ilu, levels, p2p, Bcsr4, IluFactors, LevelSchedule, P2pSchedule};
-use fun3d_threads::ThreadPool;
+use fun3d_sparse::{ilu, levels, p2p, Bcsr4, IluFactors, LevelSchedule, P2pProgress, P2pSchedule};
+use fun3d_threads::{TeamMember, TeamSlice, ThreadPool};
 
 /// Anything that can apply `z = M⁻¹ r`.
 pub trait Preconditioner {
@@ -16,6 +16,33 @@ pub trait Preconditioner {
     fn apply(&self, r: &[f64], z: &mut [f64]);
     /// Scalar dimension.
     fn dim(&self) -> usize;
+
+    /// Applies this thread's share of `z = M⁻¹ r` inside a running SPMD
+    /// region. Contract: `r` is fully published (barrier/region entry)
+    /// before the call, and on return `z` is fully published to every
+    /// thread (implementations end with a barrier).
+    ///
+    /// The default routes the whole apply through the team leader —
+    /// correct for any preconditioner (one thread, barrier-ordered),
+    /// with zero intra-apply parallelism. Threaded TRSV preconditioners
+    /// override it with team sweeps.
+    ///
+    /// # Safety
+    /// Called concurrently by every thread of the team. Implementations
+    /// must be data-race free under that pattern; the default is, because
+    /// only the leader dereferences shared state between two barriers.
+    unsafe fn apply_team(&self, tm: &TeamMember, r: TeamSlice, z: TeamSlice) {
+        if tm.tid() == 0 {
+            // SAFETY: r is published (contract); nobody else touches z
+            // until the barrier below.
+            unsafe {
+                let rs = r.slice(0..r.len());
+                let zs = z.slice_mut(0..z.len());
+                self.apply(rs, zs);
+            }
+        }
+        tm.barrier();
+    }
 }
 
 /// No preconditioning: `z = r`.
@@ -27,6 +54,11 @@ impl Preconditioner for IdentityPrecond {
     }
     fn dim(&self) -> usize {
         self.0
+    }
+
+    unsafe fn apply_team(&self, tm: &TeamMember, r: TeamSlice, z: TeamSlice) {
+        crate::team::copy(tm, z, r);
+        tm.barrier();
     }
 }
 
@@ -51,6 +83,10 @@ pub enum IluApply {
         fwd: P2pSchedule,
         /// Backward-sweep schedule.
         bwd: P2pSchedule,
+        /// Reusable forward-sweep progress counters (team applies).
+        fwd_progress: P2pProgress,
+        /// Reusable backward-sweep progress counters (team applies).
+        bwd_progress: P2pProgress,
     },
 }
 
@@ -84,7 +120,13 @@ impl SerialIlu {
         let nt = pool.size();
         let fwd = P2pSchedule::forward(&self.factors.l, nt);
         let bwd = P2pSchedule::backward(&self.factors.u, nt);
-        self.apply_mode = IluApply::P2p { pool, fwd, bwd };
+        self.apply_mode = IluApply::P2p {
+            pool,
+            fwd,
+            bwd,
+            fwd_progress: P2pProgress::new(nt),
+            bwd_progress: P2pProgress::new(nt),
+        };
         self
     }
 }
@@ -101,7 +143,7 @@ impl Preconditioner for SerialIlu {
                 let x = levels::solve_levels(&self.factors, r, pool, fwd, bwd);
                 z.copy_from_slice(&x);
             }
-            IluApply::P2p { pool, fwd, bwd } => {
+            IluApply::P2p { pool, fwd, bwd, .. } => {
                 let x = p2p::solve_p2p(&self.factors, r, pool, fwd, bwd);
                 z.copy_from_slice(&x);
             }
@@ -110,6 +152,56 @@ impl Preconditioner for SerialIlu {
 
     fn dim(&self) -> usize {
         self.factors.nrows() * 4
+    }
+
+    unsafe fn apply_team(&self, tm: &TeamMember, r: TeamSlice, z: TeamSlice) {
+        let (tid, nt) = (tm.tid(), tm.nthreads());
+        match &self.apply_mode {
+            // No threaded sweep available: leader applies serially.
+            IluApply::Serial => {
+                if tid == 0 {
+                    // SAFETY: r published (contract); z untouched by the
+                    // other threads until the barrier.
+                    unsafe {
+                        let rs = r.slice(0..r.len());
+                        let zs = z.slice_mut(0..z.len());
+                        self.apply(rs, zs);
+                    }
+                }
+                tm.barrier();
+            }
+            // Level-scheduled sweeps inside the caller's region. The
+            // forward solve writes z from r; the backward solve runs in
+            // place z→z (row i's input is read before its output is
+            // stored, so it is bitwise identical to the out-of-place
+            // pooled path). Both sweeps end with a level barrier, so z is
+            // published on return.
+            IluApply::Levels { fwd, bwd, .. } => {
+                let barrier = tm.team().barrier();
+                levels::forward_levels_team(&self.factors, r, z, tid, nt, fwd, barrier);
+                levels::backward_levels_team(&self.factors, z, z, tid, nt, bwd, barrier);
+            }
+            // P2P sweeps: reset own counters, publish the resets with a
+            // barrier, sweep; barrier between the sweeps because forward
+            // ownership and backward ownership partition the rows
+            // differently, and after, to publish z.
+            IluApply::P2p {
+                fwd,
+                bwd,
+                fwd_progress,
+                bwd_progress,
+                ..
+            } => {
+                assert_eq!(nt, fwd.nthreads());
+                fwd_progress.reset_mine(tid);
+                bwd_progress.reset_mine(tid);
+                tm.barrier();
+                p2p::forward_p2p_team(&self.factors, r, z, tid, fwd, fwd_progress);
+                tm.barrier();
+                p2p::backward_p2p_team(&self.factors, z, z, tid, bwd, bwd_progress);
+                tm.barrier();
+            }
+        }
     }
 }
 

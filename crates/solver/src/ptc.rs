@@ -7,12 +7,14 @@
 //! ‖f(u_{l−1})‖` (capped), so the method behaves like time marching far
 //! from the solution and like Newton near it.
 
-use crate::gmres::{Gmres, GmresConfig};
+use crate::gmres::{Gmres, GmresConfig, GmresExec};
 use crate::op::FdJacobian;
 use crate::precond::Preconditioner;
 use crate::vecops;
+use fun3d_threads::ThreadPool;
 use fun3d_util::telemetry;
 use fun3d_util::Timer;
+use std::sync::Arc;
 
 /// The problem interface the CFD application implements.
 pub trait PtcProblem {
@@ -35,6 +37,20 @@ pub trait PtcProblem {
     /// Hook called once per time step with the current residual norm
     /// (used by the application's progress logging). Default: no-op.
     fn on_step(&mut self, _step: usize, _res_norm: f64, _dt: f64) {}
+
+    /// Thread pool for the linear solver's vector ops, or `None` for
+    /// serial execution. Default: serial.
+    fn solver_pool(&self) -> Option<Arc<ThreadPool>> {
+        None
+    }
+
+    /// When true (and a pool is available), GMRES runs in persistent-
+    /// SPMD-region mode: one region per Arnoldi iteration instead of one
+    /// per vector op. The FD Jacobian is matrix-free and launches its own
+    /// regions, so the operator apply stays between regions (hybrid).
+    fn team_regions(&self) -> bool {
+        false
+    }
 }
 
 /// ΨTC driver parameters.
@@ -97,6 +113,8 @@ pub fn solve(problem: &mut dyn PtcProblem, u: &mut [f64], config: &PtcConfig) ->
     let mut rhs = vec![0.0; n];
     let mut delta = vec![0.0; n];
     let mut gmres = Gmres::new(n, config.gmres);
+    let pool = problem.solver_pool();
+    let team = problem.team_regions();
 
     problem.residual(u, &mut r);
     let res0 = vecops::norm2(&r);
@@ -146,7 +164,12 @@ pub fn solve(problem: &mut dyn PtcProblem, u: &mut [f64], config: &PtcConfig) ->
                 };
                 let jac = FdJacobian::new(residual_fn, u, &r, &shift);
                 let _gmres_span = telemetry::span("ptc.gmres");
-                gmres.solve(&jac, problem.preconditioner(), &rhs, &mut delta)
+                let exec = match pool.as_deref() {
+                    None => GmresExec::Serial,
+                    Some(p) if team => GmresExec::Team(p),
+                    Some(p) => GmresExec::PerOp(p),
+                };
+                gmres.solve_with(&jac, problem.preconditioner(), &rhs, &mut delta, exec)
             };
             stats.linear_iters += lin.iterations;
             step_lin_iters += lin.iterations;

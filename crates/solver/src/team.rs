@@ -1,0 +1,276 @@
+//! Team (persistent-region) vector primitives.
+//!
+//! Per-op threading launches one pool region per vector operation; at
+//! solver scale the region launches and their implicit full-pool
+//! rendezvous dominate (the paper's fork-join overhead). These variants
+//! instead run **inside** an already-open SPMD region: every thread
+//! executes its static chunk, and only the reductions synchronize (two
+//! barrier phases through the team's [`TreeReduce`]).
+//!
+//! Bitwise contract: each op partitions `0..n` with the same
+//! [`chunk_range`](fun3d_threads::chunk_range) as `vecops::par`, runs the
+//! identical per-element accumulation loop, and combines per-thread
+//! partials in thread order — so at a fixed thread count every result is
+//! bit-for-bit equal to the corresponding `vecops::par` call. That is
+//! what lets the persistent-region GMRES reproduce the per-op GMRES
+//! history exactly.
+//!
+//! Synchronization contract (callers): elementwise ops (`axpy`, `waxpy`,
+//! `maxpy`, `scale_into`, `copy`) do **not** barrier — each thread only
+//! touches its own chunk, and a barrier is required before any op that
+//! reads another thread's chunk (SpMV, dot). Reductions (`dot`, `norm2`,
+//! `mdot`) barrier internally and return the same value on every thread.
+
+use fun3d_threads::{TeamMember, TeamSlice};
+
+/// Team `<x, y>`: chunk-local partial + deterministic thread-order
+/// combine. Returns the same bits on every thread; synchronizes (2
+/// barrier phases).
+pub fn dot(tm: &TeamMember, x: TeamSlice, y: TeamSlice) -> f64 {
+    assert_eq!(x.len(), y.len());
+    let r = tm.chunk(x.len());
+    let mut acc = 0.0;
+    // SAFETY: reads of both vectors; caller ordered all writes before
+    // this call (barrier), and no thread writes during it.
+    unsafe {
+        for i in r {
+            acc += x.get(i) * y.get(i);
+        }
+    }
+    tm.sum(acc)
+}
+
+/// Team 2-norm (synchronizes; identical on every thread).
+pub fn norm2(tm: &TeamMember, x: TeamSlice) -> f64 {
+    dot(tm, x, x).sqrt()
+}
+
+/// Team multi-dot: `out[k] = <x, ys[k]>` in a single pass over this
+/// thread's chunk of `x`, then ONE tree combine for all `k` components
+/// (2 barrier phases total). `out` is thread-local storage; after the
+/// call every thread holds identical values. Requires `ys.len() <=` the
+/// team's reduction width.
+pub fn mdot(tm: &TeamMember, x: TeamSlice, ys: &[TeamSlice], out: &mut [f64]) {
+    assert_eq!(ys.len(), out.len());
+    let k = ys.len();
+    if k == 0 {
+        return;
+    }
+    for y in ys {
+        assert_eq!(y.len(), x.len());
+    }
+    let r = tm.chunk(x.len());
+    let mut accs = vec![0.0f64; k];
+    // SAFETY: reads only; caller ordered writes before the call.
+    unsafe {
+        for i in r {
+            let xi = x.get(i);
+            for (acc, y) in accs.iter_mut().zip(ys) {
+                *acc += xi * y.get(i);
+            }
+        }
+    }
+    tm.sums(&accs, out);
+}
+
+/// Team `y += a*x` on this thread's chunk. No barrier.
+pub fn axpy(tm: &TeamMember, y: TeamSlice, a: f64, x: TeamSlice) {
+    assert_eq!(y.len(), x.len());
+    let r = tm.chunk(y.len());
+    // SAFETY: chunk-disjoint writes; x reads ordered by caller.
+    unsafe {
+        for i in r {
+            y.set(i, y.get(i) + a * x.get(i));
+        }
+    }
+}
+
+/// Team `w = a*x + y` on this thread's chunk. No barrier.
+pub fn waxpy(tm: &TeamMember, w: TeamSlice, a: f64, x: TeamSlice, y: TeamSlice) {
+    assert!(w.len() == x.len() && x.len() == y.len());
+    let r = tm.chunk(w.len());
+    // SAFETY: chunk-disjoint writes; reads ordered by caller.
+    unsafe {
+        for i in r {
+            w.set(i, a * x.get(i) + y.get(i));
+        }
+    }
+}
+
+/// Team `y += Σ_k alpha[k]·xs[k]` on this thread's chunk, `y` traversed
+/// once. No barrier.
+pub fn maxpy(tm: &TeamMember, y: TeamSlice, alpha: &[f64], xs: &[TeamSlice]) {
+    assert_eq!(alpha.len(), xs.len());
+    for x in xs {
+        assert_eq!(x.len(), y.len());
+    }
+    let r = tm.chunk(y.len());
+    // SAFETY: chunk-disjoint writes; reads ordered by caller.
+    unsafe {
+        for i in r {
+            let mut acc = y.get(i);
+            for (a, x) in alpha.iter().zip(xs) {
+                acc += a * x.get(i);
+            }
+            y.set(i, acc);
+        }
+    }
+}
+
+/// Team `w = b - w` in place on this thread's chunk. No barrier.
+pub fn bsub(tm: &TeamMember, w: TeamSlice, b: TeamSlice) {
+    assert_eq!(w.len(), b.len());
+    let r = tm.chunk(w.len());
+    // SAFETY: chunk-disjoint read-modify-write.
+    unsafe {
+        for i in r {
+            w.set(i, b.get(i) - w.get(i));
+        }
+    }
+}
+
+/// Team `dst = src / s` elementwise on this thread's chunk (division,
+/// not reciprocal-multiply, to round identically to the serial and
+/// per-op paths). No barrier.
+pub fn div_into(tm: &TeamMember, dst: TeamSlice, src: TeamSlice, s: f64) {
+    assert_eq!(dst.len(), src.len());
+    let r = tm.chunk(dst.len());
+    // SAFETY: chunk-disjoint writes.
+    unsafe {
+        for i in r {
+            dst.set(i, src.get(i) / s);
+        }
+    }
+}
+
+/// Team `dst = a * src` on this thread's chunk. No barrier.
+pub fn scale_into(tm: &TeamMember, dst: TeamSlice, a: f64, src: TeamSlice) {
+    assert_eq!(dst.len(), src.len());
+    let r = tm.chunk(dst.len());
+    // SAFETY: chunk-disjoint writes; reads ordered by caller.
+    unsafe {
+        for i in r {
+            dst.set(i, a * src.get(i));
+        }
+    }
+}
+
+/// Team copy `dst = src` on this thread's chunk. No barrier.
+pub fn copy(tm: &TeamMember, dst: TeamSlice, src: TeamSlice) {
+    assert_eq!(dst.len(), src.len());
+    let r = tm.chunk(dst.len());
+    // SAFETY: chunk-disjoint writes; reads ordered by caller.
+    unsafe {
+        for i in r {
+            dst.set(i, src.get(i));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vecops;
+    use fun3d_threads::{Team, ThreadPool};
+    use std::sync::Mutex;
+
+    fn vecs(n: usize) -> (Vec<f64>, Vec<f64>) {
+        let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.13).sin()).collect();
+        let y: Vec<f64> = (0..n).map(|i| (i as f64 * 0.29).cos()).collect();
+        (x, y)
+    }
+
+    #[test]
+    fn team_dot_matches_par_dot_bitwise() {
+        for nt in [1usize, 2, 4] {
+            let pool = ThreadPool::new(nt);
+            let team = Team::new(nt, 4);
+            let (mut x, mut y) = vecs(997);
+            let want = vecops::par::dot(&pool, &x, &y);
+            let xs = TeamSlice::new(&mut x);
+            let ys = TeamSlice::new(&mut y);
+            let got = Mutex::new(vec![0.0; nt]);
+            pool.run(|tid| {
+                let tm = unsafe { team.member(tid) };
+                let d = dot(&tm, xs, ys);
+                got.lock().unwrap()[tid] = d;
+            });
+            for &g in got.lock().unwrap().iter() {
+                assert_eq!(g.to_bits(), want.to_bits(), "nt={nt}");
+            }
+        }
+    }
+
+    #[test]
+    fn team_mdot_matches_par_mdot_bitwise() {
+        let nt = 3;
+        let pool = ThreadPool::new(nt);
+        let team = Team::new(nt, 8);
+        let n = 1001;
+        let (mut x, _) = vecs(n);
+        let mut ys: Vec<Vec<f64>> = (0..5)
+            .map(|k| (0..n).map(|i| ((i + 3 * k) as f64 * 0.07).sin()).collect())
+            .collect();
+        let refs: Vec<&[f64]> = ys.iter().map(|v| v.as_slice()).collect();
+        let mut want = vec![0.0; refs.len()];
+        vecops::par::mdot(&pool, &x, &refs, &mut want);
+
+        let xs = TeamSlice::new(&mut x);
+        let yslices: Vec<TeamSlice> = ys.iter_mut().map(|v| TeamSlice::new(v)).collect();
+        let got = Mutex::new(vec![0.0; want.len()]);
+        pool.run(|tid| {
+            let tm = unsafe { team.member(tid) };
+            let mut out = vec![0.0; yslices.len()];
+            mdot(&tm, xs, &yslices, &mut out);
+            if tid == 0 {
+                got.lock().unwrap().copy_from_slice(&out);
+            }
+        });
+        for (k, (&g, &w)) in got.lock().unwrap().iter().zip(&want).enumerate() {
+            assert_eq!(g.to_bits(), w.to_bits(), "component {k}");
+        }
+    }
+
+    #[test]
+    fn team_elementwise_match_serial_bitwise() {
+        let nt = 4;
+        let pool = ThreadPool::new(nt);
+        let team = Team::new(nt, 4);
+        let n = 513;
+        let (x, y) = vecs(n);
+
+        // serial references
+        let mut w_ref = vec![0.0; n];
+        vecops::waxpy(&mut w_ref, 1.3, &x, &y);
+        let mut y_axpy = y.clone();
+        vecops::axpy(&mut y_axpy, -0.7, &x);
+        let mut y_maxpy = y.clone();
+        vecops::maxpy(&mut y_maxpy, &[0.2, -0.4], &[&x, &w_ref.clone()]);
+        let scale_ref: Vec<f64> = x.iter().map(|&v| 2.5 * v).collect();
+
+        let mut xb = x.clone();
+        let mut yb = y.clone();
+        let mut wb = vec![0.0; n];
+        let mut ab = y.clone();
+        let mut mb = y.clone();
+        let mut sb = vec![0.0; n];
+        let xs = TeamSlice::new(&mut xb);
+        let ys = TeamSlice::new(&mut yb);
+        let ws = TeamSlice::new(&mut wb);
+        let as_ = TeamSlice::new(&mut ab);
+        let ms = TeamSlice::new(&mut mb);
+        let ss = TeamSlice::new(&mut sb);
+        pool.run(|tid| {
+            let tm = unsafe { team.member(tid) };
+            waxpy(&tm, ws, 1.3, xs, ys);
+            axpy(&tm, as_, -0.7, xs);
+            tm.barrier(); // ws fully written before maxpy reads it
+            maxpy(&tm, ms, &[0.2, -0.4], &[xs, ws]);
+            scale_into(&tm, ss, 2.5, xs);
+        });
+        assert_eq!(wb, w_ref);
+        assert_eq!(ab, y_axpy);
+        assert_eq!(mb, y_maxpy);
+        assert_eq!(sb, scale_ref);
+    }
+}

@@ -55,6 +55,23 @@ pub fn mdot(x: &[f64], ys: &[&[f64]], out: &mut [f64]) {
     }
 }
 
+/// `w = b - w` in place (residual formation step).
+pub fn bsub(w: &mut [f64], b: &[f64]) {
+    assert_eq!(w.len(), b.len());
+    for i in 0..w.len() {
+        w[i] = b[i] - w[i];
+    }
+}
+
+/// `dst = src / s` elementwise (basis normalization; kept as a division
+/// so all execution paths round identically).
+pub fn div_into(dst: &mut [f64], src: &[f64], s: f64) {
+    assert_eq!(dst.len(), src.len());
+    for i in 0..dst.len() {
+        dst[i] = src[i] / s;
+    }
+}
+
 /// `<x, y>` (PETSc `VecDot`).
 pub fn dot(x: &[f64], y: &[f64]) -> f64 {
     assert_eq!(x.len(), y.len());
@@ -142,6 +159,32 @@ pub mod par {
         });
     }
 
+    /// Threaded `w = b - w` in place.
+    pub fn bsub(pool: &ThreadPool, w: &mut [f64], b: &[f64]) {
+        assert_eq!(w.len(), b.len());
+        let wp = SendPtr(w.as_mut_ptr());
+        pool.parallel_for(w.len(), |_tid, r| {
+            let wp = &wp;
+            for i in r {
+                // SAFETY: disjoint ranges.
+                unsafe { *wp.0.add(i) = b[i] - *wp.0.add(i) };
+            }
+        });
+    }
+
+    /// Threaded `dst = src / s` elementwise.
+    pub fn div_into(pool: &ThreadPool, dst: &mut [f64], src: &[f64], s: f64) {
+        assert_eq!(dst.len(), src.len());
+        let dp = SendPtr(dst.as_mut_ptr());
+        pool.parallel_for(src.len(), |_tid, r| {
+            let dp = &dp;
+            for i in r {
+                // SAFETY: disjoint ranges.
+                unsafe { *dp.0.add(i) = src[i] / s };
+            }
+        });
+    }
+
     /// Threaded dot product with deterministic per-thread partials
     /// combined in thread order.
     pub fn dot(pool: &ThreadPool, x: &[f64], y: &[f64]) -> f64 {
@@ -166,11 +209,38 @@ pub mod par {
         dot(pool, x, x).sqrt()
     }
 
-    /// Threaded multi-dot.
+    /// Threaded multi-dot: ONE region for all `ys.len()` products (not one
+    /// region per vector). Each thread makes a single pass over its chunk
+    /// of `x`, accumulating all K partials; partials are combined in
+    /// thread order, so each component is bitwise identical to a
+    /// per-vector [`dot`] call at the same thread count.
     pub fn mdot(pool: &ThreadPool, x: &[f64], ys: &[&[f64]], out: &mut [f64]) {
         assert_eq!(ys.len(), out.len());
-        for (k, y) in ys.iter().enumerate() {
-            out[k] = dot(pool, x, y);
+        let k = ys.len();
+        if k == 0 {
+            return;
+        }
+        for y in ys {
+            assert_eq!(y.len(), x.len());
+        }
+        let nt = pool.size();
+        let partials: Vec<AtomicU64> = (0..nt * k).map(|_| AtomicU64::new(0)).collect();
+        pool.parallel_for(x.len(), |tid, r| {
+            let mut accs = vec![0.0f64; k];
+            for i in r {
+                let xi = x[i];
+                for (acc, y) in accs.iter_mut().zip(ys) {
+                    *acc += xi * y[i];
+                }
+            }
+            for (kk, acc) in accs.iter().enumerate() {
+                partials[tid * k + kk].store(acc.to_bits(), Ordering::Relaxed);
+            }
+        });
+        for (kk, o) in out.iter_mut().enumerate() {
+            *o = (0..nt)
+                .map(|t| f64::from_bits(partials[t * k + kk].load(Ordering::Relaxed)))
+                .sum();
         }
     }
 }
@@ -280,6 +350,47 @@ mod tests {
         for k in 0..2 {
             assert!((outs[k] - outp[k]).abs() < 1e-11);
         }
+    }
+
+    #[test]
+    fn parallel_mdot_single_region_matches_per_vector_dot_bitwise() {
+        // The fused mdot must produce, component by component, exactly
+        // the bits of a per-vector par::dot at the same thread count …
+        let pool = ThreadPool::new(4);
+        let n = 1003;
+        let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin()).collect();
+        let ys: Vec<Vec<f64>> = (0..5)
+            .map(|k| (0..n).map(|i| (i as f64 * 0.11 + k as f64).cos()).collect())
+            .collect();
+        let refs: Vec<&[f64]> = ys.iter().map(|v| v.as_slice()).collect();
+        let mut fused = vec![0.0; refs.len()];
+        let before = pool.regions_launched();
+        par::mdot(&pool, &x, &refs, &mut fused);
+        // … and do it in ONE region, not one per vector.
+        assert_eq!(pool.regions_launched() - before, 1);
+        for (k, y) in refs.iter().enumerate() {
+            let d = par::dot(&pool, &x, y);
+            assert_eq!(fused[k].to_bits(), d.to_bits(), "component {k}");
+        }
+    }
+
+    #[test]
+    fn parallel_mdot_exact_on_integer_data() {
+        // Integer-valued doubles with small products: every partial sum is
+        // exact, so the fused parallel mdot must equal the serial mdot
+        // exactly regardless of association.
+        let pool = ThreadPool::new(3);
+        let n = 512;
+        let x: Vec<f64> = (0..n).map(|i| ((i % 7) as f64) - 3.0).collect();
+        let ys: Vec<Vec<f64>> = (0..4)
+            .map(|k| (0..n).map(|i| ((i + k) % 5) as f64).collect())
+            .collect();
+        let refs: Vec<&[f64]> = ys.iter().map(|v| v.as_slice()).collect();
+        let mut serial = vec![0.0; refs.len()];
+        mdot(&x, &refs, &mut serial);
+        let mut par_out = vec![0.0; refs.len()];
+        par::mdot(&pool, &x, &refs, &mut par_out);
+        assert_eq!(serial, par_out);
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Block compressed sparse row storage (4×4 blocks).
 
 use crate::block::{self, Block4, BLOCK_DIM, BLOCK_LEN, ZERO_BLOCK};
-use fun3d_threads::ThreadPool;
+use fun3d_threads::{TeamSlice, ThreadPool};
 
 /// A square block-sparse matrix with 4×4 blocks (PETSc's BAIJ/"BCSR").
 ///
@@ -136,6 +136,25 @@ impl Bcsr4 {
         }
     }
 
+    /// Row-range slice of the SpMV, writing through a raw pointer. The
+    /// single arithmetic body shared by `spmv_parallel` and `spmv_team`,
+    /// so the two are bitwise identical at equal chunking.
+    ///
+    /// # Safety
+    /// Rows in `range` must be written by exactly this caller, and `y`
+    /// must have room for `dim()` values.
+    unsafe fn spmv_rows(&self, range: std::ops::Range<usize>, x: &[f64], y: *mut f64) {
+        for r in range {
+            let mut acc = [0.0f64; 4];
+            for k in self.row_ptr[r]..self.row_ptr[r + 1] {
+                let c = self.col_idx[k] as usize;
+                let xv: &[f64; 4] = x[c * 4..c * 4 + 4].try_into().unwrap();
+                block::matvec_acc(self.block(k), xv, &mut acc);
+            }
+            std::ptr::copy_nonoverlapping(acc.as_ptr(), y.add(r * 4), 4);
+        }
+    }
+
     /// Threaded block SpMV: rows split statically over the pool. Rows are
     /// written disjointly, so no synchronization is needed.
     pub fn spmv_parallel(&self, pool: &ThreadPool, x: &[f64], y: &mut [f64]) {
@@ -145,20 +164,24 @@ impl Bcsr4 {
         let y_ptr = SendPtr(y.as_mut_ptr());
         pool.parallel_for(nrows, |_tid, range| {
             let y_ptr = &y_ptr;
-            for r in range {
-                let mut acc = [0.0f64; 4];
-                for k in self.row_ptr[r]..self.row_ptr[r + 1] {
-                    let c = self.col_idx[k] as usize;
-                    let xv: &[f64; 4] = x[c * 4..c * 4 + 4].try_into().unwrap();
-                    block::matvec_acc(self.block(k), xv, &mut acc);
-                }
-                // SAFETY: each row index r is visited by exactly one
-                // thread (ranges are disjoint), so writes never overlap.
-                unsafe {
-                    std::ptr::copy_nonoverlapping(acc.as_ptr(), y_ptr.0.add(r * 4), 4);
-                }
-            }
+            // SAFETY: each row index r is visited by exactly one thread
+            // (ranges are disjoint), so writes never overlap.
+            unsafe { self.spmv_rows(range, x, y_ptr.0) };
         });
+    }
+
+    /// SpMV slice for one member of an already-running SPMD region: this
+    /// thread computes its static chunk of rows (the same chunking as
+    /// `spmv_parallel`, hence bitwise-identical results). Synchronization
+    /// is the caller's: `x` must be fully published (barrier) before the
+    /// call, and a barrier must separate the call from any cross-chunk
+    /// read of `y`.
+    pub fn spmv_team(&self, tid: usize, nthreads: usize, x: &[f64], y: TeamSlice) {
+        assert_eq!(x.len(), self.dim());
+        assert_eq!(y.len(), self.dim());
+        let range = fun3d_threads::chunk_range(self.nrows(), nthreads, tid);
+        // SAFETY: chunk_range assigns each row to exactly one tid.
+        unsafe { self.spmv_rows(range, x, y.as_ptr()) };
     }
 
     /// Extracts the dense equivalent (for small test matrices only).

@@ -10,7 +10,7 @@
 
 use crate::ilu::IluFactors;
 use crate::{block, Bcsr4};
-use fun3d_threads::{chunk_range, SpinBarrier, ThreadPool};
+use fun3d_threads::{chunk_range, SpinBarrier, TeamSlice, ThreadPool};
 
 /// Rows grouped by DAG level.
 #[derive(Clone, Debug)]
@@ -99,11 +99,74 @@ impl LevelSchedule {
     }
 }
 
-/// Shared-pointer wrapper for the solution vector; rows are written by
-/// exactly one thread and reads are ordered by the inter-level barrier.
-struct SharedVec(*mut f64);
-unsafe impl Send for SharedVec {}
-unsafe impl Sync for SharedVec {}
+/// Forward-solve slice for one member of an already-running SPMD region:
+/// a barrier per level, each level's rows chunked statically over the
+/// team. `b` and `y` may alias (in-place solve): row `i` reads `b[i]`
+/// before writing `y[i]`, and each row is owned by exactly one thread.
+pub fn forward_levels_team(
+    f: &IluFactors,
+    b: TeamSlice,
+    y: TeamSlice,
+    tid: usize,
+    nthreads: usize,
+    sched: &LevelSchedule,
+    barrier: &SpinBarrier,
+) {
+    for lvl in &sched.rows {
+        let r = chunk_range(lvl.len(), nthreads, tid);
+        for &i in &lvl[r] {
+            let i = i as usize;
+            // SAFETY: row i is owned by this thread; b[i] is not written
+            // by anyone during the sweep (if b aliases y, row i's input
+            // is read before its output is stored).
+            let mut acc: [f64; 4] = unsafe { *(b.as_ptr().add(i * 4) as *const [f64; 4]) };
+            for k in f.l.row_ptr[i]..f.l.row_ptr[i + 1] {
+                let j = f.l.col_idx[k] as usize;
+                // SAFETY: row j is in an earlier level; its write
+                // happened before the barrier we crossed.
+                let xj: &[f64; 4] = unsafe { &*(y.as_ptr().add(j * 4) as *const [f64; 4]) };
+                block::matvec_sub_simd(f.l.block(k), xj, &mut acc);
+            }
+            // SAFETY: each row is owned by exactly one thread.
+            unsafe { std::ptr::copy_nonoverlapping(acc.as_ptr(), y.as_ptr().add(i * 4), 4) };
+        }
+        barrier.wait();
+    }
+}
+
+/// Backward-solve slice for one member of an already-running SPMD
+/// region. `y` and `x` may alias (in-place solve): row `i`'s input is
+/// read before its output is stored, and dependency rows `j > i` hold
+/// finished `x` values by the time row `i` runs.
+pub fn backward_levels_team(
+    f: &IluFactors,
+    y: TeamSlice,
+    x: TeamSlice,
+    tid: usize,
+    nthreads: usize,
+    sched: &LevelSchedule,
+    barrier: &SpinBarrier,
+) {
+    for lvl in &sched.rows {
+        let r = chunk_range(lvl.len(), nthreads, tid);
+        for &i in &lvl[r] {
+            let i = i as usize;
+            // SAFETY: row ownership as in the forward sweep.
+            let mut acc: [f64; 4] = unsafe { *(y.as_ptr().add(i * 4) as *const [f64; 4]) };
+            for k in f.u.row_ptr[i]..f.u.row_ptr[i + 1] {
+                let j = f.u.col_idx[k] as usize;
+                // SAFETY: dependency row finished in an earlier level.
+                let xj: &[f64; 4] = unsafe { &*(x.as_ptr().add(j * 4) as *const [f64; 4]) };
+                block::matvec_sub_simd(f.u.block(k), xj, &mut acc);
+            }
+            let mut out = [0.0f64; 4];
+            block::matvec_acc(f.dinv_block(i), &acc, &mut out);
+            // SAFETY: unique row ownership.
+            unsafe { std::ptr::copy_nonoverlapping(out.as_ptr(), x.as_ptr().add(i * 4), 4) };
+        }
+        barrier.wait();
+    }
+}
 
 /// Parallel forward solve using level scheduling with a barrier per level.
 pub fn forward_levels(
@@ -116,28 +179,11 @@ pub fn forward_levels(
 ) {
     assert_eq!(barrier.parties(), pool.size());
     let nt = pool.size();
-    let yp = SharedVec(y.as_mut_ptr());
-    pool.run(|tid| {
-        let yp = &yp;
-        for lvl in &sched.rows {
-            let r = chunk_range(lvl.len(), nt, tid);
-            for &i in &lvl[r] {
-                let i = i as usize;
-                let mut acc: [f64; 4] = b[i * 4..i * 4 + 4].try_into().unwrap();
-                for k in f.l.row_ptr[i]..f.l.row_ptr[i + 1] {
-                    let j = f.l.col_idx[k] as usize;
-                    // SAFETY: row j is in an earlier level; its write
-                    // happened before the barrier we crossed.
-                    let xj: &[f64; 4] =
-                        unsafe { &*(yp.0.add(j * 4) as *const [f64; 4]) };
-                    block::matvec_sub_simd(f.l.block(k), xj, &mut acc);
-                }
-                // SAFETY: each row is owned by exactly one thread.
-                unsafe { std::ptr::copy_nonoverlapping(acc.as_ptr(), yp.0.add(i * 4), 4) };
-            }
-            barrier.wait();
-        }
-    });
+    // The team entry only reads b; the TeamSlice cast discards constness
+    // but no write ever goes through it.
+    let bp = TeamSlice::from_raw(b.as_ptr() as *mut f64, b.len());
+    let yp = TeamSlice::new(y);
+    pool.run(|tid| forward_levels_team(f, bp, yp, tid, nt, sched, barrier));
 }
 
 /// Parallel backward solve using level scheduling with a barrier per level.
@@ -151,29 +197,9 @@ pub fn backward_levels(
 ) {
     assert_eq!(barrier.parties(), pool.size());
     let nt = pool.size();
-    let xp = SharedVec(x.as_mut_ptr());
-    pool.run(|tid| {
-        let xp = &xp;
-        for lvl in &sched.rows {
-            let r = chunk_range(lvl.len(), nt, tid);
-            for &i in &lvl[r] {
-                let i = i as usize;
-                let mut acc: [f64; 4] = y[i * 4..i * 4 + 4].try_into().unwrap();
-                for k in f.u.row_ptr[i]..f.u.row_ptr[i + 1] {
-                    let j = f.u.col_idx[k] as usize;
-                    // SAFETY: dependency row finished in an earlier level.
-                    let xj: &[f64; 4] =
-                        unsafe { &*(xp.0.add(j * 4) as *const [f64; 4]) };
-                    block::matvec_sub_simd(f.u.block(k), xj, &mut acc);
-                }
-                let mut out = [0.0f64; 4];
-                block::matvec_acc(f.dinv_block(i), &acc, &mut out);
-                // SAFETY: unique row ownership.
-                unsafe { std::ptr::copy_nonoverlapping(out.as_ptr(), xp.0.add(i * 4), 4) };
-            }
-            barrier.wait();
-        }
-    });
+    let yp = TeamSlice::from_raw(y.as_ptr() as *mut f64, y.len());
+    let xp = TeamSlice::new(x);
+    pool.run(|tid| backward_levels_team(f, yp, xp, tid, nt, sched, barrier));
 }
 
 /// Full level-scheduled preconditioner application.

@@ -36,7 +36,7 @@ pub use block::{Block4, BLOCK_DIM, BLOCK_LEN};
 pub use dag::DagStats;
 pub use ilu::{IluFactors, TempBuffer};
 pub use levels::LevelSchedule;
-pub use p2p::P2pSchedule;
+pub use p2p::{P2pProgress, P2pSchedule};
 
 /// Dense helpers shared by tests in this crate and by the solver crate's
 /// reference checks.

@@ -20,7 +20,7 @@
 use crate::block;
 use crate::ilu::IluFactors;
 use crate::Bcsr4;
-use fun3d_threads::ThreadPool;
+use fun3d_threads::{TeamSlice, ThreadPool};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// One row's task in a thread's program: the row id and the (sparsified)
@@ -189,9 +189,116 @@ fn balanced_chunks(weights: &[usize], k: usize) -> Vec<std::ops::Range<usize>> {
     out
 }
 
-struct SharedVec(*mut f64);
-unsafe impl Send for SharedVec {}
-unsafe impl Sync for SharedVec {}
+/// Per-thread progress counters for the P2P protocol. One instance may
+/// be reused across sweeps: each thread resets **its own** counter and a
+/// barrier must separate the resets from the first wait of the sweep.
+pub struct P2pProgress {
+    counters: Vec<AtomicUsize>,
+}
+
+impl P2pProgress {
+    /// Fresh counters (all zero) for `nthreads` producers.
+    pub fn new(nthreads: usize) -> P2pProgress {
+        P2pProgress {
+            counters: (0..nthreads).map(|_| AtomicUsize::new(0)).collect(),
+        }
+    }
+
+    /// Number of producer threads.
+    pub fn nthreads(&self) -> usize {
+        self.counters.len()
+    }
+
+    /// Resets this thread's counter. Call from every team member, then
+    /// cross a barrier before the sweep begins.
+    pub fn reset_mine(&self, tid: usize) {
+        self.counters[tid].store(0, Ordering::Relaxed);
+    }
+
+    /// Acquire-spins until producer `pt`'s counter passes `pos`.
+    fn wait_for(&self, pt: usize, pos: usize) {
+        let target = pos + 1;
+        let cell = &self.counters[pt];
+        let mut spins = 0u32;
+        while cell.load(Ordering::Acquire) < target {
+            spins = spins.wrapping_add(1);
+            if spins % 64 == 0 {
+                std::thread::yield_now();
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+    }
+
+    /// Publishes one more completed row for this thread.
+    fn publish(&self, tid: usize) {
+        self.counters[tid].fetch_add(1, Ordering::Release);
+    }
+}
+
+/// P2P forward sweep slice for one member of an already-running SPMD
+/// region. `progress` must be zeroed (fresh, or `reset_mine` + barrier)
+/// on entry. `b` and `y` may alias: row `i`'s input is read before its
+/// output is stored.
+pub fn forward_p2p_team(
+    f: &IluFactors,
+    b: TeamSlice,
+    y: TeamSlice,
+    tid: usize,
+    sched: &P2pSchedule,
+    progress: &P2pProgress,
+) {
+    for task in &sched.tasks[tid] {
+        for &(pt, pos) in &task.waits {
+            progress.wait_for(pt as usize, pos as usize);
+        }
+        let i = task.row as usize;
+        // SAFETY: row i is owned by this thread; b[i] is never written
+        // during the sweep (in-place aliasing reads before the store).
+        let mut acc: [f64; 4] = unsafe { *(b.as_ptr().add(i * 4) as *const [f64; 4]) };
+        for k in f.l.row_ptr[i]..f.l.row_ptr[i + 1] {
+            let j = f.l.col_idx[k] as usize;
+            // SAFETY: producer write ordered by the Acquire spin above
+            // (or same-thread program order).
+            let xj: &[f64; 4] = unsafe { &*(y.as_ptr().add(j * 4) as *const [f64; 4]) };
+            block::matvec_sub_simd(f.l.block(k), xj, &mut acc);
+        }
+        // SAFETY: each row written by exactly one thread.
+        unsafe { std::ptr::copy_nonoverlapping(acc.as_ptr(), y.as_ptr().add(i * 4), 4) };
+        progress.publish(tid);
+    }
+}
+
+/// P2P backward sweep slice for one member of an already-running SPMD
+/// region. Same contract as [`forward_p2p_team`].
+pub fn backward_p2p_team(
+    f: &IluFactors,
+    y: TeamSlice,
+    x: TeamSlice,
+    tid: usize,
+    sched: &P2pSchedule,
+    progress: &P2pProgress,
+) {
+    for task in &sched.tasks[tid] {
+        for &(pt, pos) in &task.waits {
+            progress.wait_for(pt as usize, pos as usize);
+        }
+        let i = task.row as usize;
+        // SAFETY: row ownership as in the forward sweep.
+        let mut acc: [f64; 4] = unsafe { *(y.as_ptr().add(i * 4) as *const [f64; 4]) };
+        for k in f.u.row_ptr[i]..f.u.row_ptr[i + 1] {
+            let j = f.u.col_idx[k] as usize;
+            // SAFETY: ordered by Acquire spin or program order.
+            let xj: &[f64; 4] = unsafe { &*(x.as_ptr().add(j * 4) as *const [f64; 4]) };
+            block::matvec_sub_simd(f.u.block(k), xj, &mut acc);
+        }
+        let mut out = [0.0f64; 4];
+        block::matvec_acc(f.dinv_block(i), &acc, &mut out);
+        // SAFETY: unique row ownership.
+        unsafe { std::ptr::copy_nonoverlapping(out.as_ptr(), x.as_ptr().add(i * 4), 4) };
+        progress.publish(tid);
+    }
+}
 
 /// Executes a P2P-scheduled forward sweep.
 pub fn forward_p2p(
@@ -202,38 +309,10 @@ pub fn forward_p2p(
     sched: &P2pSchedule,
 ) {
     assert_eq!(pool.size(), sched.nthreads());
-    let progress: Vec<AtomicUsize> = (0..sched.nthreads()).map(|_| AtomicUsize::new(0)).collect();
-    let yp = SharedVec(y.as_mut_ptr());
-    pool.run(|tid| {
-        let yp = &yp;
-        for task in &sched.tasks[tid] {
-            for &(pt, pos) in &task.waits {
-                let target = pos as usize + 1;
-                let cell = &progress[pt as usize];
-                let mut spins = 0u32;
-                while cell.load(Ordering::Acquire) < target {
-                    spins = spins.wrapping_add(1);
-                    if spins % 64 == 0 {
-                        std::thread::yield_now();
-                    } else {
-                        std::hint::spin_loop();
-                    }
-                }
-            }
-            let i = task.row as usize;
-            let mut acc: [f64; 4] = b[i * 4..i * 4 + 4].try_into().unwrap();
-            for k in f.l.row_ptr[i]..f.l.row_ptr[i + 1] {
-                let j = f.l.col_idx[k] as usize;
-                // SAFETY: producer write ordered by the Acquire spin above
-                // (or same-thread program order).
-                let xj: &[f64; 4] = unsafe { &*(yp.0.add(j * 4) as *const [f64; 4]) };
-                block::matvec_sub_simd(f.l.block(k), xj, &mut acc);
-            }
-            // SAFETY: each row written by exactly one thread.
-            unsafe { std::ptr::copy_nonoverlapping(acc.as_ptr(), yp.0.add(i * 4), 4) };
-            progress[tid].fetch_add(1, Ordering::Release);
-        }
-    });
+    let progress = P2pProgress::new(sched.nthreads());
+    let bp = TeamSlice::from_raw(b.as_ptr() as *mut f64, b.len());
+    let yp = TeamSlice::new(y);
+    pool.run(|tid| forward_p2p_team(f, bp, yp, tid, sched, &progress));
 }
 
 /// Executes a P2P-scheduled backward sweep.
@@ -245,39 +324,10 @@ pub fn backward_p2p(
     sched: &P2pSchedule,
 ) {
     assert_eq!(pool.size(), sched.nthreads());
-    let progress: Vec<AtomicUsize> = (0..sched.nthreads()).map(|_| AtomicUsize::new(0)).collect();
-    let xp = SharedVec(x.as_mut_ptr());
-    pool.run(|tid| {
-        let xp = &xp;
-        for task in &sched.tasks[tid] {
-            for &(pt, pos) in &task.waits {
-                let target = pos as usize + 1;
-                let cell = &progress[pt as usize];
-                let mut spins = 0u32;
-                while cell.load(Ordering::Acquire) < target {
-                    spins = spins.wrapping_add(1);
-                    if spins % 64 == 0 {
-                        std::thread::yield_now();
-                    } else {
-                        std::hint::spin_loop();
-                    }
-                }
-            }
-            let i = task.row as usize;
-            let mut acc: [f64; 4] = y[i * 4..i * 4 + 4].try_into().unwrap();
-            for k in f.u.row_ptr[i]..f.u.row_ptr[i + 1] {
-                let j = f.u.col_idx[k] as usize;
-                // SAFETY: ordered by Acquire spin or program order.
-                let xj: &[f64; 4] = unsafe { &*(xp.0.add(j * 4) as *const [f64; 4]) };
-                block::matvec_sub_simd(f.u.block(k), xj, &mut acc);
-            }
-            let mut out = [0.0f64; 4];
-            block::matvec_acc(f.dinv_block(i), &acc, &mut out);
-            // SAFETY: unique row ownership.
-            unsafe { std::ptr::copy_nonoverlapping(out.as_ptr(), xp.0.add(i * 4), 4) };
-            progress[tid].fetch_add(1, Ordering::Release);
-        }
-    });
+    let progress = P2pProgress::new(sched.nthreads());
+    let yp = TeamSlice::from_raw(y.as_ptr() as *mut f64, y.len());
+    let xp = TeamSlice::new(x);
+    pool.run(|tid| backward_p2p_team(f, yp, xp, tid, sched, &progress));
 }
 
 /// Full P2P preconditioner application.

@@ -7,12 +7,14 @@
 //! busy-waiting keeps the cost to one atomic RMW plus a spin, with no
 //! kernel round trips.
 
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use fun3d_util::telemetry;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 
 /// A reusable spinning barrier for a fixed number of participants.
 pub struct SpinBarrier {
     count: AtomicUsize,
     sense: AtomicBool,
+    crossings: AtomicU64,
     parties: usize,
 }
 
@@ -23,6 +25,7 @@ impl SpinBarrier {
         SpinBarrier {
             count: AtomicUsize::new(0),
             sense: AtomicBool::new(false),
+            crossings: AtomicU64::new(0),
             parties,
         }
     }
@@ -30,6 +33,13 @@ impl SpinBarrier {
     /// Number of participating threads.
     pub fn parties(&self) -> usize {
         self.parties
+    }
+
+    /// Completed barrier phases over this barrier's lifetime — together
+    /// with `ThreadPool::regions_launched` this quantifies the
+    /// synchronization a solver iteration actually pays.
+    pub fn crossings(&self) -> u64 {
+        self.crossings.load(Ordering::Relaxed)
     }
 
     /// Blocks (spinning) until all `parties` threads have called `wait`.
@@ -40,7 +50,16 @@ impl SpinBarrier {
         let arrived = self.count.fetch_add(1, Ordering::AcqRel) + 1;
         if arrived == self.parties {
             self.count.store(0, Ordering::Relaxed);
+            self.crossings.fetch_add(1, Ordering::Relaxed);
             self.sense.store(my_sense, Ordering::Release);
+            // One record per completed phase (leader only, after the
+            // waiters are released), so the telemetry "barrier.phase"
+            // counter is the global crossing count, not parties x
+            // crossings.
+            telemetry::record_kernel(
+                "barrier.phase",
+                telemetry::KernelCounts::once(self.parties as u64, 0, 0, 0),
+            );
             true
         } else {
             let mut spins = 0u32;

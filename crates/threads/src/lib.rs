@@ -4,7 +4,11 @@
 //! exact scheduling ingredients the paper's strategies need:
 //!
 //! * a persistent [`ThreadPool`] whose workers execute SPMD regions
-//!   (`f(tid)` on every thread, like an `omp parallel` region),
+//!   (`f(tid)` on every thread, like an `omp parallel` region), launched
+//!   through a spin-doorbell so a region costs a few atomic ops,
+//! * a [`Team`] context ([`team`]) — barrier, per-thread scratch, and a
+//!   deterministic [`TreeReduce`] — so whole solver iterations run
+//!   inside one region separated by barrier phases,
 //! * static range chunking ([`chunk_range`]) for "basic partitioning",
 //! * a spinning sense-reversing [`SpinBarrier`] for level-scheduled sparse
 //!   recurrences (barrier after each level),
@@ -17,11 +21,13 @@ pub mod atomicf64;
 pub mod barrier;
 pub mod p2p;
 pub mod pool;
+pub mod team;
 
 pub use atomicf64::AtomicF64View;
 pub use barrier::SpinBarrier;
 pub use p2p::DoneFlags;
 pub use pool::ThreadPool;
+pub use team::{Team, TeamMember, TeamSlice, TreeReduce};
 
 /// Splits `0..n` into `nthreads` near-equal contiguous chunks and returns
 /// chunk `tid` as a half-open range. The first `n % nthreads` chunks get

@@ -1,80 +1,117 @@
-//! A persistent SPMD thread pool.
+//! A persistent SPMD thread pool with spin-doorbell dispatch.
 //!
 //! [`ThreadPool::run`] executes one closure on every worker, passing the
 //! worker id, and returns when all workers have finished — the same
-//! execution model as an OpenMP `parallel` region, which is what all of the
-//! paper's threading strategies are written against. Workers are created
-//! once and reused, so a `run` costs two channel messages per worker rather
-//! than a thread spawn.
+//! execution model as an OpenMP `parallel` region, which is what all of
+//! the paper's threading strategies are written against.
+//!
+//! Dispatch is an epoch/generation **doorbell**: the launcher publishes a
+//! raw pointer to the region closure and bumps a generation counter;
+//! workers spin (then yield, then nap) on the counter. A region launch is
+//! therefore a few atomic operations — no channel messages, no mutex, no
+//! condvar wake — which matters because the solver hot loop crosses a
+//! region boundary for every kernel it runs (the fork-join cost the
+//! paper's persistent-region restructuring attacks). Workers are created
+//! once; on Linux each is best-effort pinned to a core (the paper's runs
+//! use `KMP_AFFINITY=compact`), disable with `FUN3D_PIN=off`.
 
 use fun3d_util::telemetry;
+use std::cell::UnsafeCell;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 
-/// Type-erased SPMD region: called as `job(tid)`.
-type Job = Arc<dyn Fn(usize) + Send + Sync>;
+/// Raw fat pointer to the caller's region closure. Valid only between the
+/// epoch bump that publishes it and the completion count that retires it;
+/// `run` blocks for that whole window, so the pointee outlives every use.
+type JobPtr = *const (dyn Fn(usize) + Sync);
 
-struct Shared {
-    remaining: Mutex<usize>,
-    all_done: Condvar,
+struct Doorbell {
+    /// Generation counter: odd/even is irrelevant, workers just watch for
+    /// change. Bumped (Release) after `job` is written.
+    epoch: AtomicUsize,
+    /// Workers that have finished the current region (Release on
+    /// increment; the launcher Acquire-spins to `size`).
+    done: AtomicUsize,
+    /// Set while a `run` is in flight (reentrancy / cross-thread guard).
+    active: AtomicBool,
+    /// Any worker panicked inside the current region.
     panicked: AtomicBool,
+    /// Tells woken workers to exit instead of looking for a job.
+    shutdown: AtomicBool,
+    /// The published region. Written by the launcher strictly before the
+    /// epoch bump, read by workers strictly after observing it.
+    job: UnsafeCell<Option<JobPtr>>,
 }
+
+// SAFETY: `job` is only written by the launcher while no region is in
+// flight and only read by workers after the Release/Acquire epoch
+// handshake that orders the write before the reads. (Send: the raw
+// pointer member is only a handoff cell, never owned state.)
+unsafe impl Sync for Doorbell {}
+unsafe impl Send for Doorbell {}
 
 /// A fixed-size pool of persistent worker threads executing SPMD regions.
 pub struct ThreadPool {
-    senders: Vec<Sender<Job>>,
     handles: Vec<JoinHandle<()>>,
-    shared: Arc<Shared>,
+    bell: Arc<Doorbell>,
+    regions: AtomicU64,
     size: usize,
+}
+
+/// Spin-then-yield-then-nap wait. Pure spinning livelocks on an
+/// oversubscribed machine (this container has a single core), and pure
+/// yielding burns a core while the pool is idle between solves; the nap
+/// caps idle burn at ~10k wakeups/s while keeping worst-case region
+/// latency at the nap length.
+#[inline]
+fn backoff(waits: u32) {
+    if waits < 64 {
+        std::hint::spin_loop();
+    } else if waits < 4096 {
+        std::thread::yield_now();
+    } else {
+        std::thread::sleep(std::time::Duration::from_micros(100));
+    }
 }
 
 impl ThreadPool {
     /// Spawns a pool with `size` workers (`size >= 1`).
     pub fn new(size: usize) -> Self {
         assert!(size >= 1, "thread pool needs at least one worker");
-        let shared = Arc::new(Shared {
-            remaining: Mutex::new(0),
-            all_done: Condvar::new(),
+        let bell = Arc::new(Doorbell {
+            epoch: AtomicUsize::new(0),
+            done: AtomicUsize::new(0),
+            active: AtomicBool::new(false),
             panicked: AtomicBool::new(false),
+            shutdown: AtomicBool::new(false),
+            job: UnsafeCell::new(None),
         });
-        let mut senders = Vec::with_capacity(size);
+        let pin = pinning_enabled();
+        let ncores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
         let mut handles = Vec::with_capacity(size);
         for tid in 0..size {
-            let (tx, rx): (Sender<Job>, Receiver<Job>) = channel();
-            senders.push(tx);
-            let shared = Arc::clone(&shared);
+            let bell = Arc::clone(&bell);
             handles.push(
                 std::thread::Builder::new()
                     .name(format!("fun3d-worker-{tid}"))
                     .spawn(move || {
-                        while let Ok(job) = rx.recv() {
-                            let outcome = catch_unwind(AssertUnwindSafe(|| {
-                                // Busy interval on this worker's timeline;
-                                // per-thread totals of this span drive the
-                                // utilization / load-imbalance report.
-                                let _busy = telemetry::span("pool.region");
-                                job(tid)
-                            }));
-                            if outcome.is_err() {
-                                shared.panicked.store(true, Ordering::SeqCst);
-                            }
-                            let mut remaining = shared.remaining.lock().unwrap();
-                            *remaining -= 1;
-                            if *remaining == 0 {
-                                shared.all_done.notify_all();
-                            }
+                        if pin {
+                            // Compact affinity: worker t on core t mod P.
+                            let _ = affinity::pin_to_cpu(tid % ncores);
                         }
+                        worker_loop(&bell, tid);
                     })
                     .expect("spawn pool worker"),
             );
         }
         ThreadPool {
-            senders,
             handles,
-            shared,
+            bell,
+            regions: AtomicU64::new(0),
             size,
         }
     }
@@ -84,50 +121,59 @@ impl ThreadPool {
         self.size
     }
 
+    /// Regions launched over the pool's lifetime (always counted, even
+    /// with telemetry off) — the denominator for "regions per solver
+    /// iteration" in the synchronization-cost ablation.
+    pub fn regions_launched(&self) -> u64 {
+        self.regions.load(Ordering::Relaxed)
+    }
+
     /// Runs `f(tid)` on every worker and blocks until all have returned.
     ///
-    /// The closure may borrow stack data: `run` does not return until every
-    /// worker has finished executing it, so the borrow cannot outlive the
-    /// data (the same argument scoped threads rely on).
+    /// The closure may borrow stack data: `run` does not return until
+    /// every worker has finished executing it, so the borrow cannot
+    /// outlive the data (the same argument scoped threads rely on).
     ///
     /// # Panics
     /// Panics (after all workers finished the region) if any worker
-    /// panicked inside `f`.
+    /// panicked inside `f`, and on nested `run` from inside a region.
     pub fn run<'env, F>(&self, f: F)
     where
         F: Fn(usize) + Send + Sync + 'env,
     {
-        {
-            let mut remaining = self.shared.remaining.lock().unwrap();
-            assert_eq!(*remaining, 0, "ThreadPool::run is not reentrant");
-            *remaining = self.size;
-        }
-        self.shared.panicked.store(false, Ordering::SeqCst);
+        let bell = &*self.bell;
+        assert!(
+            !bell.active.swap(true, Ordering::Acquire),
+            "ThreadPool::run is not reentrant"
+        );
+        bell.panicked.store(false, Ordering::Relaxed);
+        self.regions.fetch_add(1, Ordering::Relaxed);
+        telemetry::record_kernel("pool.launch", telemetry::KernelCounts::once(1, 0, 0, 0));
 
-        // Erase the closure's lifetime so it can be shipped to the workers.
-        // SAFETY: we block below until `remaining == 0`, i.e. until every
-        // worker has dropped its use of the closure, so the borrowed
-        // environment outlives all uses. The Arc itself may live longer in
-        // a worker's channel only between jobs, but each worker receives
-        // its own clone and drops it right after the call; the final
-        // `wait` ensures no call is in flight when we return.
-        let job: Job = unsafe {
-            std::mem::transmute::<
-                Arc<dyn Fn(usize) + Send + Sync + 'env>,
-                Arc<dyn Fn(usize) + Send + Sync + 'static>,
-            >(Arc::new(f))
-        };
-        for tx in &self.senders {
-            tx.send(Arc::clone(&job)).expect("worker thread is alive");
-        }
-        drop(job);
+        // Publish the region: erase the closure's lifetime into a raw fat
+        // pointer and ring the doorbell. SAFETY: we block below until
+        // every worker has bumped `done`, i.e. until no use of the
+        // closure is in flight, so the pointee outlives all calls.
+        let wide: &(dyn Fn(usize) + Sync) = &f;
+        let job: JobPtr = unsafe { std::mem::transmute(wide) };
+        unsafe { *bell.job.get() = Some(job) };
+        bell.epoch.fetch_add(1, Ordering::Release);
 
-        let mut remaining = self.shared.remaining.lock().unwrap();
-        while *remaining != 0 {
-            remaining = self.shared.all_done.wait(remaining).unwrap();
+        // Wait for all workers (spin-then-yield; the launcher never naps
+        // — it is on the critical path of every region).
+        let mut waits = 0u32;
+        while bell.done.load(Ordering::Acquire) != self.size {
+            waits = waits.wrapping_add(1);
+            if waits % 64 == 0 {
+                std::thread::yield_now();
+            } else {
+                std::hint::spin_loop();
+            }
         }
-        drop(remaining);
-        if self.shared.panicked.swap(false, Ordering::SeqCst) {
+        bell.done.store(0, Ordering::Relaxed);
+        unsafe { *bell.job.get() = None };
+        bell.active.store(false, Ordering::Release);
+        if bell.panicked.swap(false, Ordering::Relaxed) {
             panic!("a pool worker panicked inside ThreadPool::run");
         }
     }
@@ -151,12 +197,89 @@ impl ThreadPool {
     }
 }
 
+fn worker_loop(bell: &Doorbell, tid: usize) {
+    let mut my_epoch = 0usize;
+    loop {
+        let mut waits = 0u32;
+        let next = loop {
+            let e = bell.epoch.load(Ordering::Acquire);
+            if e != my_epoch || bell.shutdown.load(Ordering::Acquire) {
+                break e;
+            }
+            backoff(waits);
+            waits = waits.wrapping_add(1);
+        };
+        if bell.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        my_epoch = next;
+        // SAFETY: the Acquire epoch load above pairs with the launcher's
+        // Release bump, ordering the job publication before this read;
+        // the pointee stays alive until we bump `done`.
+        let job = unsafe { (*bell.job.get()).expect("doorbell rang with no job") };
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            // Busy interval on this worker's timeline; per-thread totals
+            // of this span drive the utilization / load-imbalance report.
+            let _busy = telemetry::span("pool.region");
+            (unsafe { &*job })(tid)
+        }));
+        if outcome.is_err() {
+            bell.panicked.store(true, Ordering::Relaxed);
+        }
+        bell.done.fetch_add(1, Ordering::Release);
+    }
+}
+
 impl Drop for ThreadPool {
     fn drop(&mut self) {
-        self.senders.clear(); // disconnect channels; workers exit recv loop
+        self.bell.shutdown.store(true, Ordering::Release);
+        // Wake nappers/spinners: the epoch change is the doorbell.
+        self.bell.epoch.fetch_add(1, Ordering::Release);
         for h in self.handles.drain(..) {
             let _ = h.join();
         }
+    }
+}
+
+/// `FUN3D_PIN=off` (or `0`/`no`) disables affinity pinning.
+fn pinning_enabled() -> bool {
+    match std::env::var("FUN3D_PIN") {
+        Ok(v) => !matches!(v.trim().to_ascii_lowercase().as_str(), "off" | "0" | "no"),
+        Err(_) => true,
+    }
+}
+
+/// Best-effort thread pinning. The tree is hermetic (no libc crate), so
+/// Linux/x86-64 issues the `sched_setaffinity` syscall directly; every
+/// other target is a no-op.
+mod affinity {
+    #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+    pub fn pin_to_cpu(cpu: usize) -> bool {
+        // cpu_set_t as a flat bitmask; 1024 bits matches glibc's default.
+        let mut mask = [0u64; 16];
+        let word = (cpu / 64) % mask.len();
+        mask[word] = 1u64 << (cpu % 64);
+        let ret: i64;
+        // SAFETY: sched_setaffinity(0, len, mask) only reads `mask` and
+        // affects the calling thread; rcx/r11 are clobbered by `syscall`.
+        unsafe {
+            std::arch::asm!(
+                "syscall",
+                inlateout("rax") 203i64 => ret, // __NR_sched_setaffinity
+                in("rdi") 0usize,               // pid 0 = calling thread
+                in("rsi") std::mem::size_of_val(&mask),
+                in("rdx") mask.as_ptr(),
+                lateout("rcx") _,
+                lateout("r11") _,
+                options(nostack, readonly)
+            );
+        }
+        ret == 0
+    }
+
+    #[cfg(not(all(target_os = "linux", target_arch = "x86_64")))]
+    pub fn pin_to_cpu(_cpu: usize) -> bool {
+        false
     }
 }
 
@@ -207,6 +330,16 @@ mod tests {
             });
         }
         assert_eq!(count.load(Ordering::SeqCst), 100);
+    }
+
+    #[test]
+    fn counts_region_launches() {
+        let pool = ThreadPool::new(2);
+        let before = pool.regions_launched();
+        for _ in 0..7 {
+            pool.run(|_| {});
+        }
+        assert_eq!(pool.regions_launched() - before, 7);
     }
 
     #[test]

@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Solver benchmark snapshot: runs the synchronization-cost ablation and
+# distills it into BENCH_solver.json at the repo root — median/MAD of the
+# per-GMRES-iteration wall time and regions launched per iteration, for
+# the region-per-op and persistent-region execution modes.
+#
+# Usage: scripts/bench_snapshot.sh [mesh] [reps]   (defaults: tiny 5)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+MESH="${1:-tiny}"
+REPS="${2:-5}"
+
+cargo run --release --offline -q -p fun3d-bench --bin sync_ablation -- --mesh "$MESH" --reps "$REPS"
+
+ARTIFACT=target/experiments/sync_ablation.json
+if [ ! -f "$ARTIFACT" ]; then
+    echo "FAIL: $ARTIFACT not produced" >&2
+    exit 1
+fi
+# Validate before snapshotting (same strict parser as verify.sh).
+cargo run --release --offline -q -p fun3d-bench --bin sync_ablation -- --check "$ARTIFACT"
+
+# The snapshot is the ablation artifact plus provenance (commit + date),
+# assembled without external JSON tooling: the artifact is a single
+# well-formed object, so wrapping it textually is safe.
+COMMIT=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
+DATE=$(date -u +%Y-%m-%dT%H:%M:%SZ)
+{
+    printf '{\n  "commit": "%s",\n  "date": "%s",\n  "ablation": ' "$COMMIT" "$DATE"
+    cat "$ARTIFACT"
+    printf '\n}\n'
+} > BENCH_solver.json
+
+echo "[solver benchmark snapshot written to BENCH_solver.json]"

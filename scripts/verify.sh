@@ -52,4 +52,16 @@ for artifact in target/experiments/perf_report.json target/experiments/perf_repo
 done
 echo "ok: telemetry artifacts present and parsable"
 
+echo "== sync_ablation on the tiny mesh (persistent-region solver) =="
+# Region-per-op vs persistent-region GMRES: the run itself asserts the
+# two paths are bitwise identical; --check validates the artifact and
+# the structural claim (regions/iteration collapses to ~1 in team mode).
+cargo run --release --offline -q -p fun3d-bench --bin sync_ablation -- --mesh tiny --reps 3
+if [ ! -f target/experiments/sync_ablation.json ]; then
+    echo "FAIL: missing sync ablation artifact"
+    exit 1
+fi
+cargo run --release --offline -q -p fun3d-bench --bin sync_ablation -- --check target/experiments/sync_ablation.json
+echo "ok: sync ablation artifact present and parsable"
+
 echo "verify: OK"
