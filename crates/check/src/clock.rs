@@ -1,0 +1,107 @@
+//! Vector clocks for happens-before tracking.
+//!
+//! Each virtual thread carries a [`VClock`]; component `t` is the number
+//! of events thread `t` had performed the last time its knowledge reached
+//! this clock's owner. An access `a` *happens before* an access `b` iff
+//! the clock of `b`'s thread at `b` has `get(a.thread) >= a.epoch` —
+//! i.e. `b`'s thread had (transitively) synchronized with `a`'s thread
+//! after `a`. Clocks flow along program order (each thread ticks its own
+//! component per event), spawn/join edges, and release→acquire edges on
+//! the shim atomics.
+
+/// A vector clock, stored sparsely (missing components are zero). Model
+/// executions involve at most a handful of threads, so a plain `Vec`
+/// beats any map.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct VClock {
+    c: Vec<u64>,
+}
+
+impl VClock {
+    /// The zero clock (happens before everything).
+    pub fn new() -> VClock {
+        VClock::default()
+    }
+
+    /// Component `t` (zero if never set).
+    #[inline]
+    pub fn get(&self, t: usize) -> u64 {
+        self.c.get(t).copied().unwrap_or(0)
+    }
+
+    /// Sets component `t`.
+    pub fn set(&mut self, t: usize, v: u64) {
+        if self.c.len() <= t {
+            self.c.resize(t + 1, 0);
+        }
+        self.c[t] = v;
+    }
+
+    /// Advances component `t` by one (one event on thread `t`).
+    pub fn tick(&mut self, t: usize) {
+        let v = self.get(t) + 1;
+        self.set(t, v);
+    }
+
+    /// Pointwise maximum: afterwards this clock knows everything `other`
+    /// knew (the acquire side of a synchronizes-with edge).
+    pub fn join(&mut self, other: &VClock) {
+        for (t, &v) in other.c.iter().enumerate() {
+            if v > self.get(t) {
+                self.set(t, v);
+            }
+        }
+    }
+
+    /// Forgets everything (used when a relaxed store breaks a release
+    /// chain: the location no longer publishes any history).
+    pub fn clear(&mut self) {
+        self.c.clear();
+    }
+
+    /// True when this clock has witnessed event `epoch` of thread `t` —
+    /// i.e. that event happens-before the holder's current position.
+    #[inline]
+    pub fn has_seen(&self, t: usize, epoch: u64) -> bool {
+        self.get(t) >= epoch
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tick_and_get() {
+        let mut c = VClock::new();
+        assert_eq!(c.get(3), 0);
+        c.tick(3);
+        c.tick(3);
+        assert_eq!(c.get(3), 2);
+        assert_eq!(c.get(0), 0);
+    }
+
+    #[test]
+    fn join_is_pointwise_max() {
+        let mut a = VClock::new();
+        a.set(0, 5);
+        a.set(2, 1);
+        let mut b = VClock::new();
+        b.set(0, 3);
+        b.set(1, 7);
+        a.join(&b);
+        assert_eq!(a.get(0), 5);
+        assert_eq!(a.get(1), 7);
+        assert_eq!(a.get(2), 1);
+    }
+
+    #[test]
+    fn has_seen_models_happens_before() {
+        let mut observer = VClock::new();
+        observer.set(1, 4);
+        assert!(observer.has_seen(1, 4));
+        assert!(observer.has_seen(1, 3));
+        assert!(!observer.has_seen(1, 5));
+        assert!(observer.has_seen(2, 0), "epoch 0 precedes the model");
+    }
+}

@@ -1,0 +1,1170 @@
+//! The deterministic execution engine.
+//!
+//! A model execution runs the test body on **virtual threads**: real OS
+//! threads whose execution is serialized by a cooperative handoff
+//! scheduler — exactly one virtual thread runs at any instant, and every
+//! shim operation (atomic access, tracked-cell access, spawn/join,
+//! spin hint) is a *schedule point* where the scheduler may hand the
+//! token to a different thread. Because only scheduler choices (and
+//! explicit value choices for stale relaxed loads) steer the run, an
+//! execution is a pure function of its choice sequence, which is what
+//! makes exhaustive enumeration and seeded replay possible.
+//!
+//! Nondeterminism is funnelled through one primitive: `choose(n)`.
+//! Thread-scheduling decisions and read-from decisions both go through
+//! it, and every call is logged as a [`Step`]. The DFS driver backtracks
+//! over the logged steps (last branch with an untried alternative);
+//! the random driver draws choices from a SplitMix64 stream seeded per
+//! sample, so a failure's seed replays it bit-identically.
+//!
+//! Spin loops are handled by *blocking until a store*: a thread that
+//! calls the shim spin hint is descheduled until some thread performs an
+//! atomic store newer than the global store stamp at the spinner's
+//! *previous* spin hint — i.e. newer than the start of the loop
+//! iteration whose condition evaluation just failed. (Using the stamp of
+//! the spinner's last load would be unsound: a loop that loads several
+//! atomics per iteration could miss a store landing between them and
+//! block forever.) If every live thread is spinning, no store can ever
+//! release them — reported as a livelock. If every live thread is
+//! blocked on joins, that is a deadlock. Both failures carry the full
+//! schedule.
+
+use crate::clock::VClock;
+use std::collections::HashMap;
+use std::panic::Location;
+use std::sync::atomic::{AtomicU64 as StdAtomicU64, Ordering as StdOrdering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+/// Virtual threads unwind (with [`AbortToken`]) while holding the
+/// scheduler lock when an execution is torn down, which poisons a std
+/// `Mutex`; teardown is an expected path here, so every acquisition
+/// tolerates poison instead of propagating it.
+fn lock_inner<'a, T>(m: &'a Mutex<T>) -> MutexGuard<'a, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn wait_cv<'a, T>(cv: &Condvar, g: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+    cv.wait(g).unwrap_or_else(|e| e.into_inner())
+}
+
+/// Generation counter distinguishing executions, so shim objects created
+/// in one execution never alias metadata ids in the next.
+static EXEC_GEN: StdAtomicU64 = StdAtomicU64::new(1);
+
+/// SplitMix64 step (same algorithm the workspace RNG uses for seeding).
+#[inline]
+pub(crate) fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Panic payload used to unwind virtual threads when the execution is
+/// torn down after a failure; the thread wrapper swallows it.
+pub(crate) struct AbortToken;
+
+/// How the current execution resolves `choose(n)` calls past the replay
+/// prefix.
+enum ChoiceSource {
+    /// Pick choice 0 (DFS explores alternatives by extending the prefix).
+    First,
+    /// Draw from a SplitMix64 stream (random sampling mode).
+    Rng(u64),
+}
+
+/// One logged choice point: scheduling or read-from.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Step {
+    /// Virtual thread the choice put in motion (for read-from choices,
+    /// the loading thread).
+    pub tid: usize,
+    /// Human-readable description of the operation about to execute.
+    pub op: String,
+    /// Number of alternatives that existed at this point.
+    pub nchoices: usize,
+    /// Which alternative was taken.
+    pub chosen: usize,
+}
+
+/// Why an execution failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FailureKind {
+    /// Two unordered accesses to a tracked cell, at least one a write.
+    DataRace,
+    /// Every live thread blocked on a join.
+    Deadlock,
+    /// Every live thread spinning with no possible writer.
+    Livelock,
+    /// A virtual thread panicked (assertion in the model body, or a
+    /// panic in the code under test).
+    Panic,
+    /// Model limits exceeded (too many threads, runaway execution).
+    Limit,
+}
+
+/// A failing schedule with everything needed to report and replay it.
+#[derive(Clone, Debug)]
+pub struct Failure {
+    /// Classification.
+    pub kind: FailureKind,
+    /// What went wrong (race endpoints with source locations, panic
+    /// message, …).
+    pub message: String,
+    /// The full choice log of the failing execution.
+    pub schedule: Vec<Step>,
+    /// The per-sample seed, when the failure came from random sampling.
+    pub seed: Option<u64>,
+}
+
+impl Failure {
+    /// Renders the failure as a multi-line report: message, interleaved
+    /// schedule, and (random mode) a replay line mirroring the
+    /// `FUN3D_PROP_SEED` idiom.
+    pub fn render(&self, name: &str) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("model '{name}' failed: {:?}\n", self.kind));
+        out.push_str(&format!("  {}\n", self.message));
+        out.push_str(&format!("  schedule ({} steps):\n", self.schedule.len()));
+        for (i, s) in self.schedule.iter().enumerate() {
+            let alt = if s.nchoices > 1 {
+                format!("  [choice {}/{}]", s.chosen + 1, s.nchoices)
+            } else {
+                String::new()
+            };
+            out.push_str(&format!("    step {i:3}  T{}  {}{}\n", s.tid, s.op, alt));
+        }
+        if let Some(seed) = self.seed {
+            out.push_str(&format!(
+                "  replay: FUN3D_CHECK_SEED={seed:#018x} cargo test -- {name}"
+            ));
+        } else {
+            out.push_str("  replay: deterministic — rerunning the exhaustive search finds this schedule again");
+        }
+        out
+    }
+}
+
+/// Result of an exploration ([`crate::explore`] / [`crate::sample`]).
+#[derive(Debug)]
+pub struct Report {
+    /// Executions run.
+    pub schedules: usize,
+    /// True when the DFS visited every schedule within the preemption
+    /// bound before hitting the schedule budget.
+    pub exhaustive: bool,
+    /// The first failure found, if any.
+    pub failure: Option<Failure>,
+}
+
+/// Exploration limits and semantics knobs.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Maximum virtual threads per execution (spawn past this fails the
+    /// model).
+    pub max_threads: usize,
+    /// DFS: maximum preemptive context switches per schedule (a switch
+    /// away from a still-runnable thread). `None` = unbounded.
+    pub preemption_bound: Option<usize>,
+    /// Maximum executions before the search gives up (reported as
+    /// non-exhaustive). Overridable via `FUN3D_CHECK_BUDGET`.
+    pub max_schedules: usize,
+    /// Store-history depth for stale relaxed loads: a `Relaxed` load may
+    /// read any of the last `history` stores that coherence and
+    /// happens-before allow. `1` = always read the newest value.
+    pub history: usize,
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        let max_schedules = std::env::var("FUN3D_CHECK_BUDGET")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .unwrap_or(50_000);
+        Config {
+            max_threads: 4,
+            preemption_bound: Some(3),
+            max_schedules,
+            history: 4,
+        }
+    }
+}
+
+/// A scheduling status of one virtual thread.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Status {
+    /// Parked at a schedule point, runnable.
+    Parked,
+    /// Currently holding the execution token.
+    Running,
+    /// Waiting for a thread to finish.
+    BlockedJoin(usize),
+    /// Spinning: runnable only after a store newer than `seen`.
+    BlockedSpin { seen: u64 },
+    /// Done (normally, panicked, or aborted).
+    Finished,
+}
+
+/// The operation a parked thread will perform when next scheduled.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct OpDesc {
+    pub what: &'static str,
+    pub loc: &'static Location<'static>,
+}
+
+impl OpDesc {
+    fn render(&self) -> String {
+        format!("{} @ {}:{}", self.what, trim_path(self.loc.file()), self.loc.line())
+    }
+}
+
+fn trim_path(p: &str) -> &str {
+    // Keep the last two path components so reports stay readable.
+    let mut idx = 0;
+    let mut seen = 0;
+    for (i, b) in p.bytes().enumerate().rev() {
+        if b == b'/' || b == b'\\' {
+            seen += 1;
+            if seen == 2 {
+                idx = i + 1;
+                break;
+            }
+        }
+    }
+    &p[idx..]
+}
+
+struct ThreadState {
+    status: Status,
+    clock: VClock,
+    pending: OpDesc,
+    /// Per-atomic last observed store stamp (read coherence).
+    seen: HashMap<usize, u64>,
+    /// Global store stamp at this thread's previous spin hint (0 before
+    /// the first): a spin hint blocks until a newer store lands, which is
+    /// what lets spin loops terminate under exhaustive exploration. The
+    /// stamp is taken at the *hint*, not at the last load, so a store
+    /// landing anywhere inside the failed condition evaluation keeps the
+    /// spinner runnable for one more look.
+    spin_stamp: u64,
+    /// True when the most recent load (deliberately) returned a stale
+    /// value. A spin hint after a stale load is a plain yield that sets
+    /// `force_fresh` — modelling eventual visibility, so a spin loop
+    /// can't livelock on staleness the hardware would eventually resolve.
+    last_load_stale: bool,
+    /// Next load must read the coherence-newest store (set by a
+    /// post-stale spin hint).
+    force_fresh: bool,
+    final_clock: Option<VClock>,
+}
+
+impl ThreadState {
+    fn new(clock: VClock, pending: OpDesc) -> ThreadState {
+        ThreadState {
+            status: Status::Parked,
+            clock,
+            pending,
+            seen: HashMap::new(),
+            spin_stamp: 0,
+            last_load_stale: false,
+            force_fresh: false,
+            final_clock: None,
+        }
+    }
+}
+
+/// One store in an atomic's (bounded) modification history.
+#[derive(Clone, Debug)]
+struct StoreRec {
+    val: u64,
+    /// Position in the global modification-order stamp sequence.
+    stamp: u64,
+    writer: usize,
+    /// The writer's own epoch at the store; `clock.has_seen(writer,
+    /// writer_epoch)` decides whether the store happens-before a reader.
+    writer_epoch: u64,
+    /// Publication clock an acquire load of this store joins (empty for
+    /// a relaxed store that broke the release chain).
+    sync: VClock,
+}
+
+#[derive(Default)]
+struct AtomicMeta {
+    history: Vec<StoreRec>,
+}
+
+/// One access to a tracked cell (for race reporting).
+#[derive(Clone, Debug)]
+struct CellAccess {
+    tid: usize,
+    epoch: u64,
+    loc: &'static Location<'static>,
+    step: usize,
+}
+
+#[derive(Default)]
+struct CellMeta {
+    write: Option<CellAccess>,
+    reads: Vec<CellAccess>,
+}
+
+pub(crate) struct ExecInner {
+    threads: Vec<ThreadState>,
+    running: usize,
+    steps: Vec<Step>,
+    /// Forced choices (DFS replay prefix).
+    prefix: Vec<usize>,
+    source: ChoiceSource,
+    seed: Option<u64>,
+    atomics: Vec<AtomicMeta>,
+    cells: Vec<CellMeta>,
+    store_stamp: u64,
+    preemptions: usize,
+    cfg: Config,
+    failure: Option<Failure>,
+    aborting: bool,
+    all_done: bool,
+    live: usize,
+}
+
+/// One model execution: scheduler state plus the virtual-thread handoff
+/// condvar. Shared by every virtual thread via `Arc`.
+pub(crate) struct Execution {
+    pub(crate) gen: u64,
+    inner: Mutex<ExecInner>,
+    cv: Condvar,
+    handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+thread_local! {
+    static CURRENT: std::cell::RefCell<Option<(Arc<Execution>, usize)>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// The execution and virtual-thread id of the calling OS thread, when it
+/// is a virtual thread of an active model (shim operations fall back to
+/// plain std behaviour otherwise).
+pub(crate) fn current() -> Option<(Arc<Execution>, usize)> {
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+/// Total executions are hard-capped in steps to catch accidentally
+/// unbounded model bodies with a clear error instead of a hang.
+const MAX_STEPS_PER_EXEC: usize = 100_000;
+
+impl Execution {
+    fn new(cfg: Config, prefix: Vec<usize>, source: ChoiceSource, seed: Option<u64>) -> Execution {
+        Execution {
+            gen: EXEC_GEN.fetch_add(1, StdOrdering::Relaxed),
+            inner: Mutex::new(ExecInner {
+                threads: Vec::new(),
+                running: 0,
+                steps: Vec::new(),
+                prefix,
+                source,
+                seed,
+                atomics: Vec::new(),
+                cells: Vec::new(),
+                store_stamp: 0,
+                preemptions: 0,
+                cfg,
+                failure: None,
+                aborting: false,
+                all_done: false,
+                live: 0,
+            }),
+            cv: Condvar::new(),
+            handles: Mutex::new(Vec::new()),
+        }
+    }
+
+    // ---- failure / teardown ----
+
+    fn fail(&self, g: &mut ExecInner, kind: FailureKind, message: String) {
+        if g.failure.is_none() {
+            g.failure = Some(Failure {
+                kind,
+                message,
+                schedule: g.steps.clone(),
+                seed: g.seed,
+            });
+        }
+        g.aborting = true;
+        self.cv.notify_all();
+    }
+
+    fn abort_unwind(&self) -> ! {
+        std::panic::panic_any(AbortToken)
+    }
+
+    // ---- choice recording ----
+
+    /// Resolves one `choose(n)` against the replay prefix / strategy and
+    /// logs it. `desc` renders the alternative actually taken.
+    fn choose(&self, g: &mut ExecInner, n: usize, tid: usize, desc: impl Fn(usize) -> String) -> usize {
+        debug_assert!(n >= 1);
+        let idx = g.steps.len();
+        if idx >= MAX_STEPS_PER_EXEC {
+            self.fail(
+                g,
+                FailureKind::Limit,
+                format!("execution exceeded {MAX_STEPS_PER_EXEC} schedule points; model body too large or unbounded"),
+            );
+            self.abort_unwind();
+        }
+        let chosen = if idx < g.prefix.len() {
+            let c = g.prefix[idx];
+            assert!(
+                c < n,
+                "schedule replay diverged at step {idx} (forced choice {c} of {n}): \
+                 model bodies must be deterministic apart from shim operations"
+            );
+            c
+        } else {
+            match g.source {
+                ChoiceSource::First => 0,
+                ChoiceSource::Rng(ref mut s) => (splitmix64(s) % n as u64) as usize,
+            }
+        };
+        g.steps.push(Step {
+            tid,
+            op: desc(chosen),
+            nchoices: n,
+            chosen,
+        });
+        chosen
+    }
+
+    // ---- scheduling core ----
+
+    /// Picks and wakes the next thread. `me_runnable` is true when the
+    /// caller parked itself at a schedule point (so continuing it is an
+    /// alternative); false when it blocked or finished.
+    fn reschedule(&self, g: &mut ExecInner, me: usize, me_runnable: bool) {
+        let mut cands: Vec<usize> = Vec::new();
+        if me_runnable {
+            cands.push(me);
+        }
+        for t in 0..g.threads.len() {
+            if t != me && g.threads[t].status == Status::Parked {
+                cands.push(t);
+            }
+        }
+        if cands.is_empty() {
+            let spinning = g
+                .threads
+                .iter()
+                .any(|t| matches!(t.status, Status::BlockedSpin { .. }));
+            if g.threads.iter().all(|t| t.status == Status::Finished) {
+                // Caller handles completion; nothing to schedule.
+                return;
+            }
+            let (kind, msg) = if spinning {
+                (
+                    FailureKind::Livelock,
+                    "livelock: every live thread is spinning and no thread can perform a store"
+                        .to_string(),
+                )
+            } else {
+                (
+                    FailureKind::Deadlock,
+                    "deadlock: every live thread is blocked on a join".to_string(),
+                )
+            };
+            self.fail(g, kind, msg);
+            self.abort_unwind();
+        }
+        // Preemption bounding: once the budget is spent, a runnable
+        // current thread keeps running (only voluntary switches remain).
+        let bound_hit = g
+            .cfg
+            .preemption_bound
+            .is_some_and(|b| g.preemptions >= b);
+        let effective: Vec<usize> = if me_runnable && bound_hit {
+            vec![me]
+        } else {
+            cands
+        };
+        let n = effective.len();
+        let threads = &g.threads;
+        let descs: Vec<String> = effective
+            .iter()
+            .map(|&t| threads[t].pending.render())
+            .collect();
+        let ci = self.choose(g, n, usize::MAX, |c| descs[c].clone());
+        // Patch the logged tid now that the pick is known.
+        let pick = effective[ci];
+        let last = g.steps.len() - 1;
+        g.steps[last].tid = pick;
+        if me_runnable && pick != me {
+            g.preemptions += 1;
+        }
+        g.running = pick;
+        self.cv.notify_all();
+    }
+
+    fn wait_for_turn<'a>(
+        &self,
+        mut g: MutexGuard<'a, ExecInner>,
+        me: usize,
+    ) -> MutexGuard<'a, ExecInner> {
+        while g.running != me && !g.aborting {
+            g = wait_cv(&self.cv, g);
+        }
+        if g.aborting {
+            drop(g);
+            self.abort_unwind();
+        }
+        g
+    }
+
+    /// Announces `op` as this thread's next action, lets the scheduler
+    /// decide, and returns (with the lock) once it is this thread's turn
+    /// to perform it.
+    pub(crate) fn turn(&self, me: usize, op: OpDesc) -> MutexGuard<'_, ExecInner> {
+        let mut g = lock_inner(&self.inner);
+        if g.aborting {
+            drop(g);
+            self.abort_unwind();
+        }
+        g.threads[me].pending = op;
+        g.threads[me].status = Status::Parked;
+        self.reschedule(&mut g, me, true);
+        g = self.wait_for_turn(g, me);
+        g.threads[me].status = Status::Running;
+        g
+    }
+
+    /// Shim spin hint: deschedule until some other thread stores, unless
+    /// a store already landed since this thread's previous spin hint
+    /// (then it is a plain yield — the failed condition evaluation may
+    /// simply not have looked at that store yet).
+    pub(crate) fn spin_wait(&self, me: usize, loc: &'static Location<'static>) {
+        let mut g = lock_inner(&self.inner);
+        if g.aborting {
+            drop(g);
+            self.abort_unwind();
+        }
+        g.threads[me].pending = OpDesc { what: "spin", loc };
+        let seen = g.threads[me].spin_stamp;
+        g.threads[me].spin_stamp = g.store_stamp;
+        // Eventual visibility: when the last load deliberately returned a
+        // stale value, spinning is what resolves it — stay runnable and
+        // make the next load read fresh, instead of blocking for a store
+        // that may never come (which would be a false livelock).
+        let stale = g.threads[me].last_load_stale;
+        if stale {
+            g.threads[me].force_fresh = true;
+        }
+        let runnable = stale || g.store_stamp > seen;
+        g.threads[me].status = if runnable {
+            Status::Parked
+        } else {
+            Status::BlockedSpin { seen }
+        };
+        self.reschedule(&mut g, me, runnable);
+        g = self.wait_for_turn(g, me);
+        g.threads[me].status = Status::Running;
+    }
+
+    /// Registers a new virtual thread and spawns its OS carrier.
+    pub(crate) fn spawn(
+        self: &Arc<Self>,
+        me: usize,
+        loc: &'static Location<'static>,
+        f: Box<dyn FnOnce() + Send>,
+    ) -> usize {
+        let mut g = self.turn(me, OpDesc { what: "spawn", loc });
+        let tid = g.threads.len();
+        if tid >= g.cfg.max_threads {
+            let max = g.cfg.max_threads;
+            self.fail(
+                &mut g,
+                FailureKind::Limit,
+                format!("model spawned more than max_threads = {max} virtual threads"),
+            );
+            drop(g);
+            self.abort_unwind();
+        }
+        // Spawn edge: the child starts knowing everything the parent knew.
+        let mut clock = g.threads[me].clock.clone();
+        clock.tick(tid);
+        g.threads.push(ThreadState::new(
+            clock,
+            OpDesc { what: "start", loc },
+        ));
+        g.live += 1;
+        g.threads[me].clock.tick(me);
+        drop(g);
+        self.run_virtual(tid, f);
+        tid
+    }
+
+    /// Starts the OS carrier thread for virtual thread `tid`.
+    fn run_virtual(self: &Arc<Self>, tid: usize, f: Box<dyn FnOnce() + Send>) {
+        let exec = Arc::clone(self);
+        let h = std::thread::Builder::new()
+            .name(format!("fun3d-check-t{tid}"))
+            .spawn(move || {
+                CURRENT.with(|c| *c.borrow_mut() = Some((Arc::clone(&exec), tid)));
+                {
+                    // Wait for the first turn before touching anything.
+                    let g = lock_inner(&exec.inner);
+                    let g = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        exec.wait_for_turn(g, tid)
+                    })) {
+                        Ok(mut g) => {
+                            g.threads[tid].status = Status::Running;
+                            g
+                        }
+                        Err(_) => {
+                            // Aborted before ever running.
+                            exec.thread_finished(tid, None);
+                            CURRENT.with(|c| *c.borrow_mut() = None);
+                            return;
+                        }
+                    };
+                    drop(g);
+                }
+                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
+                let panic_msg = match outcome {
+                    Ok(()) => None,
+                    Err(p) if p.is::<AbortToken>() => None,
+                    Err(p) => Some(panic_message(p)),
+                };
+                exec.thread_finished(tid, panic_msg);
+                CURRENT.with(|c| *c.borrow_mut() = None);
+            })
+            .expect("spawn model carrier thread");
+        lock_inner(&self.handles).push(h);
+    }
+
+    /// Blocks until `target` finishes, with a join happens-before edge.
+    pub(crate) fn join(&self, me: usize, target: usize, loc: &'static Location<'static>) {
+        let mut g = self.turn(me, OpDesc { what: "join", loc });
+        if g.threads[target].status != Status::Finished {
+            g.threads[me].status = Status::BlockedJoin(target);
+            self.reschedule(&mut g, me, false);
+            g = self.wait_for_turn(g, me);
+            g.threads[me].status = Status::Running;
+        }
+        let final_clock = g.threads[target]
+            .final_clock
+            .clone()
+            .expect("joined thread has a final clock");
+        g.threads[me].clock.join(&final_clock);
+        g.threads[me].clock.tick(me);
+    }
+
+    fn thread_finished(&self, me: usize, panic_msg: Option<String>) {
+        let mut g = lock_inner(&self.inner);
+        g.threads[me].final_clock = Some(g.threads[me].clock.clone());
+        g.threads[me].status = Status::Finished;
+        g.live -= 1;
+        if let Some(msg) = panic_msg {
+            self.fail(&mut g, FailureKind::Panic, format!("virtual thread T{me} panicked: {msg}"));
+        }
+        // Release joiners.
+        for t in 0..g.threads.len() {
+            if g.threads[t].status == Status::BlockedJoin(me) {
+                g.threads[t].status = Status::Parked;
+            }
+        }
+        if g.threads.iter().all(|t| t.status == Status::Finished) {
+            g.all_done = true;
+            self.cv.notify_all();
+            return;
+        }
+        if g.aborting {
+            self.cv.notify_all();
+            return;
+        }
+        // Hand the token onward; catch the teardown unwind so the carrier
+        // exits cleanly instead of double-panicking.
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            self.reschedule(&mut g, me, false);
+        }));
+    }
+
+    // ---- shim atomic operations ----
+
+    /// Lazily assigns this execution's metadata id for a shim object.
+    /// `ids` packs `(gen << 32) | (id + 1)`; stale generations re-register.
+    pub(crate) fn atomic_id(&self, g: &mut ExecInner, ids: &StdAtomicU64, init: u64) -> usize {
+        let packed = ids.load(StdOrdering::Relaxed);
+        if packed >> 32 == self.gen & 0xFFFF_FFFF {
+            return (packed & 0xFFFF_FFFF) as usize - 1;
+        }
+        let id = g.atomics.len();
+        let mut meta = AtomicMeta::default();
+        // Creation counts as happening before the whole model: writer
+        // epoch 0 is seen by every clock.
+        meta.history.push(StoreRec {
+            val: init,
+            stamp: 0,
+            writer: 0,
+            writer_epoch: 0,
+            sync: VClock::new(),
+        });
+        g.atomics.push(meta);
+        ids.store(((self.gen & 0xFFFF_FFFF) << 32) | (id as u64 + 1), StdOrdering::Relaxed);
+        id
+    }
+
+    pub(crate) fn cell_id(&self, g: &mut ExecInner, ids: &StdAtomicU64) -> usize {
+        let packed = ids.load(StdOrdering::Relaxed);
+        if packed >> 32 == self.gen & 0xFFFF_FFFF {
+            return (packed & 0xFFFF_FFFF) as usize - 1;
+        }
+        let id = g.cells.len();
+        g.cells.push(CellMeta::default());
+        ids.store(((self.gen & 0xFFFF_FFFF) << 32) | (id as u64 + 1), StdOrdering::Relaxed);
+        id
+    }
+
+    /// An atomic load. Relaxed loads may (as an explored choice) read any
+    /// store in the bounded history that coherence and happens-before
+    /// allow; acquire loads read the newest store and join its
+    /// publication clock.
+    pub(crate) fn atomic_load(
+        &self,
+        me: usize,
+        ids: &StdAtomicU64,
+        init: u64,
+        ord: Ordering,
+        loc: &'static Location<'static>,
+    ) -> u64 {
+        let mut g = self.turn(me, OpDesc { what: load_name(ord), loc });
+        let id = self.atomic_id(&mut g, ids, init);
+        let hist_len = g.atomics[id].history.len();
+        let fresh = std::mem::take(&mut g.threads[me].force_fresh);
+        let stale_ok = matches!(ord, Ordering::Relaxed) && g.cfg.history > 1 && !fresh;
+        let chosen_rec = if stale_ok && hist_len > 1 {
+            // Candidate stores, oldest first: not superseded by a store
+            // that happens-before this load, and not older than a store
+            // this thread already observed (read coherence).
+            let seen_stamp = g.threads[me].seen.get(&id).copied().unwrap_or(0);
+            let clock = g.threads[me].clock.clone();
+            let hist = &g.atomics[id].history;
+            let mut cands: Vec<usize> = Vec::new();
+            for i in 0..hist.len() {
+                let rec = &hist[i];
+                if rec.stamp < seen_stamp {
+                    continue;
+                }
+                let superseded = hist[i + 1..]
+                    .iter()
+                    .any(|newer| clock.has_seen(newer.writer, newer.writer_epoch));
+                if !superseded {
+                    cands.push(i);
+                }
+            }
+            debug_assert!(!cands.is_empty(), "newest store is always a candidate");
+            let pick = if cands.len() > 1 {
+                let hist_desc: Vec<String> = cands
+                    .iter()
+                    .map(|&i| {
+                        let rec = &g.atomics[id].history[i];
+                        format!(
+                            "read-from atomic a{id}: store #{} (value {}) @ {}:{}",
+                            rec.stamp,
+                            rec.val,
+                            trim_path(loc.file()),
+                            loc.line()
+                        )
+                    })
+                    .collect();
+                self.choose(&mut g, cands.len(), me, |c| hist_desc[c].clone())
+            } else {
+                0
+            };
+            cands[pick]
+        } else {
+            hist_len - 1
+        };
+        let rec = g.atomics[id].history[chosen_rec].clone();
+        g.threads[me].seen.insert(id, rec.stamp);
+        g.threads[me].last_load_stale = chosen_rec + 1 != hist_len;
+        if is_acquire(ord) {
+            g.threads[me].clock.join(&rec.sync);
+        }
+        g.threads[me].clock.tick(me);
+        rec.val
+    }
+
+    /// An atomic store: appends to the modification history, publishes
+    /// the writer's clock when releasing (and *breaks* the location's
+    /// release chain when relaxed), and releases blocked spinners.
+    pub(crate) fn atomic_store(
+        &self,
+        me: usize,
+        ids: &StdAtomicU64,
+        init: u64,
+        val: u64,
+        ord: Ordering,
+        loc: &'static Location<'static>,
+    ) {
+        let mut g = self.turn(me, OpDesc { what: store_name(ord), loc });
+        let id = self.atomic_id(&mut g, ids, init);
+        let sync = if is_release(ord) {
+            g.threads[me].clock.clone()
+        } else {
+            VClock::new()
+        };
+        self.push_store(&mut g, me, id, val, sync);
+    }
+
+    /// A read-modify-write: always reads the newest store (RMW
+    /// atomicity), continues the location's release sequence even when
+    /// relaxed, and adds acquire/release clock edges per `ord`.
+    pub(crate) fn atomic_rmw(
+        &self,
+        me: usize,
+        ids: &StdAtomicU64,
+        init: u64,
+        ord: Ordering,
+        loc: &'static Location<'static>,
+        f: impl FnOnce(u64) -> u64,
+    ) -> u64 {
+        let mut g = self.turn(me, OpDesc { what: rmw_name(ord), loc });
+        let id = self.atomic_id(&mut g, ids, init);
+        let latest = g.atomics[id].history.last().unwrap().clone();
+        if is_acquire(ord) {
+            g.threads[me].clock.join(&latest.sync);
+        }
+        // C++20 release sequences: an RMW keeps the chain alive; a
+        // release RMW additionally contributes its own clock.
+        let mut sync = latest.sync.clone();
+        if is_release(ord) {
+            sync.join(&g.threads[me].clock);
+        }
+        let new_val = f(latest.val);
+        self.push_store(&mut g, me, id, new_val, sync);
+        latest.val
+    }
+
+    /// Compare-exchange: an RMW on success, a load of the newest store on
+    /// failure (never spuriously fails — documented shim semantics).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn atomic_cas(
+        &self,
+        me: usize,
+        ids: &StdAtomicU64,
+        init: u64,
+        cur: u64,
+        new: u64,
+        succ: Ordering,
+        fail: Ordering,
+        loc: &'static Location<'static>,
+    ) -> Result<u64, u64> {
+        let mut g = self.turn(me, OpDesc { what: "cas", loc });
+        let id = self.atomic_id(&mut g, ids, init);
+        let latest = g.atomics[id].history.last().unwrap().clone();
+        if latest.val == cur {
+            if is_acquire(succ) {
+                g.threads[me].clock.join(&latest.sync);
+            }
+            let mut sync = latest.sync.clone();
+            if is_release(succ) {
+                sync.join(&g.threads[me].clock);
+            }
+            self.push_store(&mut g, me, id, new, sync);
+            Ok(cur)
+        } else {
+            if is_acquire(fail) {
+                g.threads[me].clock.join(&latest.sync);
+            }
+            g.threads[me].seen.insert(id, latest.stamp);
+            g.threads[me].last_load_stale = false;
+            g.threads[me].clock.tick(me);
+            Err(latest.val)
+        }
+    }
+
+    fn push_store(&self, g: &mut ExecInner, me: usize, id: usize, val: u64, sync: VClock) {
+        g.store_stamp += 1;
+        let stamp = g.store_stamp;
+        let epoch = g.threads[me].clock.get(me);
+        let hist = &mut g.atomics[id].history;
+        hist.push(StoreRec {
+            val,
+            stamp,
+            writer: me,
+            writer_epoch: epoch,
+            sync,
+        });
+        let cap = g.cfg.history.max(2);
+        if hist.len() > cap {
+            let drop_n = hist.len() - cap;
+            hist.drain(..drop_n);
+        }
+        g.threads[me].seen.insert(id, stamp);
+        g.threads[me].last_load_stale = false;
+        g.threads[me].clock.tick(me);
+        // A store may change any spin-loop condition: release spinners.
+        for t in 0..g.threads.len() {
+            if let Status::BlockedSpin { seen } = g.threads[t].status {
+                if stamp > seen {
+                    g.threads[t].status = Status::Parked;
+                }
+            }
+        }
+    }
+
+    // ---- tracked cells ----
+
+    /// A tracked non-atomic access; reports a data race when unordered
+    /// with a previous conflicting access.
+    pub(crate) fn cell_access(
+        &self,
+        me: usize,
+        ids: &StdAtomicU64,
+        write: bool,
+        loc: &'static Location<'static>,
+    ) {
+        let what = if write { "cell-write" } else { "cell-read" };
+        let mut g = self.turn(me, OpDesc { what, loc });
+        let id = self.cell_id(&mut g, ids);
+        let step = g.steps.len().saturating_sub(1);
+        let my_epoch = g.threads[me].clock.get(me);
+        let clock = g.threads[me].clock.clone();
+        let mut race: Option<(CellAccess, &'static str)> = None;
+        if let Some(w) = &g.cells[id].write {
+            if w.tid != me && !clock.has_seen(w.tid, w.epoch) {
+                race = Some((w.clone(), "write"));
+            }
+        }
+        if write && race.is_none() {
+            for r in &g.cells[id].reads {
+                if r.tid != me && !clock.has_seen(r.tid, r.epoch) {
+                    race = Some((r.clone(), "read"));
+                    break;
+                }
+            }
+        }
+        if let Some((prev, prev_kind)) = race {
+            let msg = format!(
+                "data race on tracked cell c{id}: {prev_kind} by T{} @ {}:{} (step {}) is unordered with {} by T{} @ {}:{} (step {})",
+                prev.tid,
+                trim_path(prev.loc.file()),
+                prev.loc.line(),
+                prev.step,
+                if write { "write" } else { "read" },
+                me,
+                trim_path(loc.file()),
+                loc.line(),
+                step,
+            );
+            self.fail(&mut g, FailureKind::DataRace, msg);
+            drop(g);
+            self.abort_unwind();
+        }
+        let access = CellAccess {
+            tid: me,
+            epoch: my_epoch,
+            loc,
+            step,
+        };
+        if write {
+            g.cells[id].write = Some(access);
+            g.cells[id].reads.clear();
+        } else {
+            g.cells[id].reads.retain(|r| r.tid != me);
+            g.cells[id].reads.push(access);
+        }
+        g.threads[me].clock.tick(me);
+    }
+}
+
+fn panic_message(p: Box<dyn std::any::Any + Send>) -> String {
+    p.downcast_ref::<String>()
+        .map(|s| s.clone())
+        .or_else(|| p.downcast_ref::<&str>().map(|s| s.to_string()))
+        .unwrap_or_else(|| "<non-string panic payload>".to_string())
+}
+
+/// Re-export of the std ordering used across the shim layer.
+pub use std::sync::atomic::Ordering;
+
+fn is_acquire(o: Ordering) -> bool {
+    matches!(o, Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+fn is_release(o: Ordering) -> bool {
+    matches!(o, Ordering::Release | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+fn load_name(o: Ordering) -> &'static str {
+    match o {
+        Ordering::Relaxed => "load.relaxed",
+        Ordering::Acquire => "load.acquire",
+        Ordering::SeqCst => "load.seqcst",
+        _ => "load",
+    }
+}
+
+fn store_name(o: Ordering) -> &'static str {
+    match o {
+        Ordering::Relaxed => "store.relaxed",
+        Ordering::Release => "store.release",
+        Ordering::SeqCst => "store.seqcst",
+        _ => "store",
+    }
+}
+
+fn rmw_name(o: Ordering) -> &'static str {
+    match o {
+        Ordering::Relaxed => "rmw.relaxed",
+        Ordering::Acquire => "rmw.acquire",
+        Ordering::Release => "rmw.release",
+        Ordering::AcqRel => "rmw.acqrel",
+        Ordering::SeqCst => "rmw.seqcst",
+        _ => "rmw",
+    }
+}
+
+// ---- drivers ----
+
+/// Runs one execution of `f` with the given choice prefix / source.
+/// Returns the logged steps and any failure.
+fn run_once<F>(
+    cfg: &Config,
+    prefix: Vec<usize>,
+    source: ChoiceSource,
+    seed: Option<u64>,
+    f: &Arc<F>,
+) -> (Vec<Step>, Option<Failure>)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let exec = Arc::new(Execution::new(cfg.clone(), prefix, source, seed));
+    {
+        let mut g = lock_inner(&exec.inner);
+        let mut clock = VClock::new();
+        clock.tick(0);
+        g.threads.push(ThreadState::new(
+            clock,
+            OpDesc {
+                what: "start",
+                loc: Location::caller(),
+            },
+        ));
+        g.live = 1;
+        g.running = 0;
+    }
+    let body = Arc::clone(f);
+    exec.run_virtual(0, Box::new(move || body()));
+    // Wait for completion, then reap every carrier thread.
+    {
+        let mut g = lock_inner(&exec.inner);
+        while !g.all_done {
+            g = wait_cv(&exec.cv, g);
+        }
+    }
+    loop {
+        let hs: Vec<_> = std::mem::take(&mut *lock_inner(&exec.handles));
+        if hs.is_empty() {
+            break;
+        }
+        for h in hs {
+            let _ = h.join();
+        }
+    }
+    let g = lock_inner(&exec.inner);
+    (g.steps.clone(), g.failure.clone())
+}
+
+/// Bounded-exhaustive DFS over schedules (and read-from choices), in
+/// choice-log order: rerun with the longest prefix whose last step still
+/// has an untried alternative.
+pub fn explore<F>(cfg: &Config, f: F) -> Report
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let f = Arc::new(f);
+    let mut prefix: Vec<usize> = Vec::new();
+    let mut schedules = 0usize;
+    loop {
+        let (steps, failure) = run_once(cfg, prefix.clone(), ChoiceSource::First, None, &f);
+        schedules += 1;
+        if failure.is_some() {
+            return Report {
+                schedules,
+                exhaustive: false,
+                failure,
+            };
+        }
+        let mut next = None;
+        for i in (0..steps.len()).rev() {
+            if steps[i].chosen + 1 < steps[i].nchoices {
+                next = Some(i);
+                break;
+            }
+        }
+        match next {
+            None => {
+                return Report {
+                    schedules,
+                    exhaustive: true,
+                    failure: None,
+                }
+            }
+            Some(i) => {
+                prefix = steps[..i].iter().map(|s| s.chosen).collect();
+                prefix.push(steps[i].chosen + 1);
+            }
+        }
+        if schedules >= cfg.max_schedules {
+            return Report {
+                schedules,
+                exhaustive: false,
+                failure: None,
+            };
+        }
+    }
+}
+
+/// Seeded random schedule sampling: `samples` executions with per-sample
+/// seeds derived from `base_seed` (SplitMix64 stream). A failure carries
+/// its sample seed; rerunning with that exact seed (e.g. via
+/// `FUN3D_CHECK_SEED`) reproduces the schedule bit-identically.
+pub fn sample<F>(cfg: &Config, samples: usize, base_seed: u64, f: F) -> Report
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let f = Arc::new(f);
+    let mut seeder = base_seed;
+    for i in 0..samples {
+        let seed = splitmix64(&mut seeder);
+        let (_, failure) =
+            run_once(cfg, Vec::new(), ChoiceSource::Rng(seed), Some(seed), &f);
+        if failure.is_some() {
+            return Report {
+                schedules: i + 1,
+                exhaustive: false,
+                failure,
+            };
+        }
+    }
+    Report {
+        schedules: samples,
+        exhaustive: false,
+        failure: None,
+    }
+}
+
+/// Runs exactly one execution with `seed` (the replay path behind
+/// `FUN3D_CHECK_SEED`).
+pub fn replay_seed<F>(cfg: &Config, seed: u64, f: F) -> Report
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let f = Arc::new(f);
+    let (_, failure) = run_once(cfg, Vec::new(), ChoiceSource::Rng(seed), Some(seed), &f);
+    Report {
+        schedules: 1,
+        exhaustive: false,
+        failure,
+    }
+}

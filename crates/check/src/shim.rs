@@ -1,0 +1,88 @@
+//! The cfg-switched sync surface the workspace protocols are written
+//! against (re-exported as `fun3d_threads::sync_shim`).
+//!
+//! - Normal builds (`cfg(not(fun3d_check))`): zero-cost — the atomics
+//!   ARE `std::sync::atomic` types, `ShimCell` is a transparent
+//!   `UnsafeCell` wrapper with `#[inline]` untracked accessors, and the
+//!   spin/yield hints are the std ones. The solver hot path pays
+//!   nothing for being model-checkable.
+//! - Model builds (`RUSTFLAGS="--cfg fun3d_check"`): the checker's
+//!   tracked types from [`crate::sync`]. These still fall back to real
+//!   std behaviour on any thread that is not part of an active model
+//!   execution, so ordinary tests keep passing under the cfg; only
+//!   bodies run under `fun3d_check::model*` get schedule exploration
+//!   and race detection.
+//!
+//! Code on this surface must use the loom-style cell API
+//! (`with`/`with_mut` taking raw pointers) instead of touching
+//! `UnsafeCell` directly — that is the one source-level change the port
+//! requires, and it is what gives the checker its race-detection hooks.
+
+#[cfg(fun3d_check)]
+pub use crate::sync::{
+    spin_hint, yield_now, AtomicBool, AtomicU64, AtomicUsize, Ordering, ShimCell,
+};
+
+#[cfg(not(fun3d_check))]
+pub use fallback::{spin_hint, yield_now, AtomicBool, AtomicU64, AtomicUsize, Ordering, ShimCell};
+
+#[cfg(not(fun3d_check))]
+mod fallback {
+    use std::cell::UnsafeCell;
+
+    pub use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+
+    /// Untracked `UnsafeCell` with the same API as the checker's tracked
+    /// cell, so protocol code is written once.
+    #[derive(Debug, Default)]
+    #[repr(transparent)]
+    pub struct ShimCell<T> {
+        data: UnsafeCell<T>,
+    }
+
+    unsafe impl<T: Send> Send for ShimCell<T> {}
+    unsafe impl<T: Send> Sync for ShimCell<T> {}
+
+    impl<T> ShimCell<T> {
+        #[inline]
+        pub const fn new(v: T) -> ShimCell<T> {
+            ShimCell {
+                data: UnsafeCell::new(v),
+            }
+        }
+
+        /// Read access. The pointer must not escape the closure, and the
+        /// caller is responsible for the protocol-level ordering that the
+        /// model build verifies.
+        #[inline]
+        pub fn with<R>(&self, f: impl FnOnce(*const T) -> R) -> R {
+            f(self.data.get())
+        }
+
+        /// Write access. Same contract as [`ShimCell::with`].
+        #[inline]
+        pub fn with_mut<R>(&self, f: impl FnOnce(*mut T) -> R) -> R {
+            f(self.data.get())
+        }
+
+        #[inline]
+        pub fn into_inner(self) -> T {
+            self.data.into_inner()
+        }
+
+        #[inline]
+        pub fn get_mut(&mut self) -> &mut T {
+            self.data.get_mut()
+        }
+    }
+
+    #[inline]
+    pub fn spin_hint() {
+        std::hint::spin_loop();
+    }
+
+    #[inline]
+    pub fn yield_now() {
+        std::thread::yield_now();
+    }
+}

@@ -1,0 +1,405 @@
+//! Shim atomics and tracked cells.
+//!
+//! Drop-in stand-ins for `std::sync::atomic::{AtomicUsize, AtomicU64,
+//! AtomicBool}` plus a loom-style [`ShimCell`] over `UnsafeCell`. When
+//! the calling OS thread is a virtual thread of an active model
+//! execution, every operation becomes a schedule point routed through
+//! the engine (which tracks modification order, release/acquire clock
+//! edges, and happens-before for cells). On any other thread the types
+//! behave exactly like their std counterparts, so code ported onto the
+//! shim still runs correctly in ordinary `cargo test` runs — even when
+//! the whole workspace is compiled with `--cfg fun3d_check`.
+//!
+//! Model-mode caveat (documented under-approximation of the C++20
+//! model): only `Relaxed` **loads** explore stale values; acquire and
+//! SeqCst loads read the coherence-newest store, and `compare_exchange`
+//! never fails spuriously. This makes the checker *sound for the
+//! protocols in this workspace* (whose bugs are missing release/acquire
+//! edges and torn publications) without the full read-modify-order
+//! search a complete C++20 checker needs.
+//!
+//! One rule inherited from the engine's per-execution metadata
+//! registration: shim objects used inside a model body must be
+//! **constructed inside the model closure** (a fresh object per
+//! execution). Reusing one object across executions would replay a
+//! mutated fallback value as the initial value.
+
+use crate::engine;
+use std::cell::UnsafeCell;
+use std::panic::Location;
+use std::sync::atomic::AtomicU64 as StdAtomicU64;
+
+pub use std::sync::atomic::Ordering;
+
+/// Shared routing core: `v` carries the value for fallback (no model)
+/// mode, `ids` caches this object's per-execution metadata id, packed as
+/// `(generation << 32) | (id + 1)` so stale generations re-register.
+struct Inner {
+    v: StdAtomicU64,
+    ids: StdAtomicU64,
+}
+
+impl Inner {
+    const fn new(v: u64) -> Inner {
+        Inner {
+            v: StdAtomicU64::new(v),
+            ids: StdAtomicU64::new(0),
+        }
+    }
+
+    #[track_caller]
+    fn load(&self, ord: Ordering) -> u64 {
+        match engine::current() {
+            Some((e, me)) => {
+                e.atomic_load(me, &self.ids, self.v.load(Ordering::Relaxed), ord, Location::caller())
+            }
+            None => self.v.load(ord),
+        }
+    }
+
+    #[track_caller]
+    fn store(&self, val: u64, ord: Ordering) {
+        match engine::current() {
+            Some((e, me)) => e.atomic_store(
+                me,
+                &self.ids,
+                self.v.load(Ordering::Relaxed),
+                val,
+                ord,
+                Location::caller(),
+            ),
+            None => self.v.store(val, ord),
+        }
+    }
+
+    #[track_caller]
+    fn rmw(&self, ord: Ordering, std_op: impl FnOnce(&StdAtomicU64) -> u64, f: impl FnOnce(u64) -> u64) -> u64 {
+        match engine::current() {
+            Some((e, me)) => e.atomic_rmw(
+                me,
+                &self.ids,
+                self.v.load(Ordering::Relaxed),
+                ord,
+                Location::caller(),
+                f,
+            ),
+            None => std_op(&self.v),
+        }
+    }
+
+    #[track_caller]
+    fn compare_exchange(
+        &self,
+        cur: u64,
+        new: u64,
+        succ: Ordering,
+        fail: Ordering,
+    ) -> Result<u64, u64> {
+        match engine::current() {
+            Some((e, me)) => e.atomic_cas(
+                me,
+                &self.ids,
+                self.v.load(Ordering::Relaxed),
+                cur,
+                new,
+                succ,
+                fail,
+                Location::caller(),
+            ),
+            None => self.v.compare_exchange(cur, new, succ, fail),
+        }
+    }
+}
+
+/// `std::sync::atomic::AtomicU64` stand-in.
+pub struct AtomicU64 {
+    inner: Inner,
+}
+
+/// `std::sync::atomic::AtomicUsize` stand-in.
+pub struct AtomicUsize {
+    inner: Inner,
+}
+
+/// `std::sync::atomic::AtomicBool` stand-in.
+pub struct AtomicBool {
+    inner: Inner,
+}
+
+impl AtomicU64 {
+    pub const fn new(v: u64) -> AtomicU64 {
+        AtomicU64 { inner: Inner::new(v) }
+    }
+
+    #[track_caller]
+    pub fn load(&self, ord: Ordering) -> u64 {
+        self.inner.load(ord)
+    }
+
+    #[track_caller]
+    pub fn store(&self, val: u64, ord: Ordering) {
+        self.inner.store(val, ord)
+    }
+
+    #[track_caller]
+    pub fn swap(&self, val: u64, ord: Ordering) -> u64 {
+        self.inner.rmw(ord, |a| a.swap(val, ord), |_| val)
+    }
+
+    #[track_caller]
+    pub fn fetch_add(&self, d: u64, ord: Ordering) -> u64 {
+        self.inner
+            .rmw(ord, |a| a.fetch_add(d, ord), |v| v.wrapping_add(d))
+    }
+
+    #[track_caller]
+    pub fn fetch_sub(&self, d: u64, ord: Ordering) -> u64 {
+        self.inner
+            .rmw(ord, |a| a.fetch_sub(d, ord), |v| v.wrapping_sub(d))
+    }
+
+    #[track_caller]
+    pub fn fetch_or(&self, d: u64, ord: Ordering) -> u64 {
+        self.inner.rmw(ord, |a| a.fetch_or(d, ord), |v| v | d)
+    }
+
+    #[track_caller]
+    pub fn fetch_and(&self, d: u64, ord: Ordering) -> u64 {
+        self.inner.rmw(ord, |a| a.fetch_and(d, ord), |v| v & d)
+    }
+
+    #[track_caller]
+    pub fn compare_exchange(
+        &self,
+        cur: u64,
+        new: u64,
+        succ: Ordering,
+        fail: Ordering,
+    ) -> Result<u64, u64> {
+        self.inner.compare_exchange(cur, new, succ, fail)
+    }
+
+    /// Shim semantics: never fails spuriously (same as the strong form).
+    #[track_caller]
+    pub fn compare_exchange_weak(
+        &self,
+        cur: u64,
+        new: u64,
+        succ: Ordering,
+        fail: Ordering,
+    ) -> Result<u64, u64> {
+        self.inner.compare_exchange(cur, new, succ, fail)
+    }
+
+    pub fn into_inner(self) -> u64 {
+        self.inner.v.into_inner()
+    }
+}
+
+impl AtomicUsize {
+    pub const fn new(v: usize) -> AtomicUsize {
+        AtomicUsize { inner: Inner::new(v as u64) }
+    }
+
+    #[track_caller]
+    pub fn load(&self, ord: Ordering) -> usize {
+        self.inner.load(ord) as usize
+    }
+
+    #[track_caller]
+    pub fn store(&self, val: usize, ord: Ordering) {
+        self.inner.store(val as u64, ord)
+    }
+
+    #[track_caller]
+    pub fn swap(&self, val: usize, ord: Ordering) -> usize {
+        self.inner.rmw(ord, |a| a.swap(val as u64, ord), |_| val as u64) as usize
+    }
+
+    #[track_caller]
+    pub fn fetch_add(&self, d: usize, ord: Ordering) -> usize {
+        self.inner
+            .rmw(ord, |a| a.fetch_add(d as u64, ord), |v| v.wrapping_add(d as u64)) as usize
+    }
+
+    #[track_caller]
+    pub fn fetch_sub(&self, d: usize, ord: Ordering) -> usize {
+        self.inner
+            .rmw(ord, |a| a.fetch_sub(d as u64, ord), |v| v.wrapping_sub(d as u64)) as usize
+    }
+
+    #[track_caller]
+    pub fn compare_exchange(
+        &self,
+        cur: usize,
+        new: usize,
+        succ: Ordering,
+        fail: Ordering,
+    ) -> Result<usize, usize> {
+        self.inner
+            .compare_exchange(cur as u64, new as u64, succ, fail)
+            .map(|v| v as usize)
+            .map_err(|v| v as usize)
+    }
+
+    /// Shim semantics: never fails spuriously (same as the strong form).
+    #[track_caller]
+    pub fn compare_exchange_weak(
+        &self,
+        cur: usize,
+        new: usize,
+        succ: Ordering,
+        fail: Ordering,
+    ) -> Result<usize, usize> {
+        self.compare_exchange(cur, new, succ, fail)
+    }
+
+    pub fn into_inner(self) -> usize {
+        self.inner.v.into_inner() as usize
+    }
+}
+
+impl AtomicBool {
+    pub const fn new(v: bool) -> AtomicBool {
+        AtomicBool { inner: Inner::new(v as u64) }
+    }
+
+    #[track_caller]
+    pub fn load(&self, ord: Ordering) -> bool {
+        self.inner.load(ord) != 0
+    }
+
+    #[track_caller]
+    pub fn store(&self, val: bool, ord: Ordering) {
+        self.inner.store(val as u64, ord)
+    }
+
+    #[track_caller]
+    pub fn swap(&self, val: bool, ord: Ordering) -> bool {
+        self.inner.rmw(ord, |a| a.swap(val as u64, ord), |_| val as u64) != 0
+    }
+
+    pub fn into_inner(self) -> bool {
+        self.inner.v.into_inner() != 0
+    }
+}
+
+impl std::fmt::Debug for AtomicU64 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("AtomicU64").finish_non_exhaustive()
+    }
+}
+impl std::fmt::Debug for AtomicUsize {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("AtomicUsize").finish_non_exhaustive()
+    }
+}
+impl std::fmt::Debug for AtomicBool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("AtomicBool").finish_non_exhaustive()
+    }
+}
+
+impl Default for AtomicU64 {
+    fn default() -> AtomicU64 {
+        AtomicU64::new(0)
+    }
+}
+impl Default for AtomicUsize {
+    fn default() -> AtomicUsize {
+        AtomicUsize::new(0)
+    }
+}
+impl Default for AtomicBool {
+    fn default() -> AtomicBool {
+        AtomicBool::new(false)
+    }
+}
+
+/// A tracked `UnsafeCell`: non-atomic data whose accesses the checker
+/// subjects to vector-clock race detection. `with` announces a read and
+/// `with_mut` a write *before* touching the data; because exactly one
+/// virtual thread runs at a time, the underlying accesses are physically
+/// serialized — a detected race is a model-level race (no happens-before
+/// edge), reported as a failure rather than executed as real UB.
+///
+/// A zero-sized `ShimCell<()>` can bracket accesses to data that must
+/// stay in its original layout (e.g. cache-line-padded slot arrays): the
+/// tag cell carries the race tracking while the payload stays put.
+pub struct ShimCell<T> {
+    ids: StdAtomicU64,
+    data: UnsafeCell<T>,
+}
+
+unsafe impl<T: Send> Send for ShimCell<T> {}
+unsafe impl<T: Send> Sync for ShimCell<T> {}
+
+impl<T> ShimCell<T> {
+    pub const fn new(v: T) -> ShimCell<T> {
+        ShimCell {
+            ids: StdAtomicU64::new(0),
+            data: UnsafeCell::new(v),
+        }
+    }
+
+    /// Read access. The pointer must not escape the closure.
+    #[track_caller]
+    pub fn with<R>(&self, f: impl FnOnce(*const T) -> R) -> R {
+        if let Some((e, me)) = engine::current() {
+            e.cell_access(me, &self.ids, false, Location::caller());
+        }
+        f(self.data.get())
+    }
+
+    /// Write access. The pointer must not escape the closure.
+    #[track_caller]
+    pub fn with_mut<R>(&self, f: impl FnOnce(*mut T) -> R) -> R {
+        if let Some((e, me)) = engine::current() {
+            e.cell_access(me, &self.ids, true, Location::caller());
+        }
+        f(self.data.get())
+    }
+
+    pub fn into_inner(self) -> T {
+        self.data.into_inner()
+    }
+
+    pub fn get_mut(&mut self) -> &mut T {
+        self.data.get_mut()
+    }
+}
+
+impl<T: Default> Default for ShimCell<T> {
+    fn default() -> ShimCell<T> {
+        ShimCell::new(T::default())
+    }
+}
+
+impl<T> std::fmt::Debug for ShimCell<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("ShimCell").finish_non_exhaustive()
+    }
+}
+
+/// A spin-loop hint that the scheduler understands: in a model, the
+/// calling virtual thread is descheduled until another thread performs
+/// an atomic store it has not yet observed (so spin loops terminate
+/// under exhaustive exploration, and all-threads-spinning is reported as
+/// a livelock). Outside a model this is `std::hint::spin_loop()`.
+#[track_caller]
+pub fn spin_hint() {
+    match engine::current() {
+        Some((e, me)) => e.spin_wait(me, Location::caller()),
+        None => std::hint::spin_loop(),
+    }
+}
+
+/// Like [`spin_hint`] but yields the OS thread in fallback mode — for
+/// long waits (doorbell idle loops) rather than bounded spins.
+#[track_caller]
+pub fn yield_now() {
+    match engine::current() {
+        Some((e, me)) => e.spin_wait(me, Location::caller()),
+        None => std::thread::yield_now(),
+    }
+}

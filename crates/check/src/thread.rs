@@ -1,0 +1,74 @@
+//! Virtual-thread spawn/join.
+//!
+//! Model test bodies use `fun3d_check::thread::spawn` exactly like
+//! `std::thread::spawn`. Inside an active model execution it registers a
+//! new virtual thread under the cooperative scheduler (with a
+//! spawn happens-before edge from parent to child and a join edge from
+//! child's final state to the joiner). On any other thread it is a plain
+//! std spawn, so helpers written against this module also work in
+//! ordinary tests.
+
+use crate::engine;
+use std::panic::Location;
+use std::sync::{Arc, Mutex};
+
+enum Handle<T> {
+    Virtual {
+        exec: Arc<engine::Execution>,
+        tid: usize,
+        result: Arc<Mutex<Option<T>>>,
+    },
+    Os(std::thread::JoinHandle<T>),
+}
+
+/// Join handle for either a virtual or a real thread.
+pub struct JoinHandle<T>(Handle<T>);
+
+impl<T> JoinHandle<T> {
+    /// Waits for the thread. In a model, a virtual thread that panicked
+    /// already failed the whole execution, so this only returns values
+    /// from clean completions. For OS threads this mirrors
+    /// `std::thread::JoinHandle::join` but panics on a panicked child
+    /// (model tests want failures loud, not `Result`-wrapped).
+    #[track_caller]
+    pub fn join(self) -> T {
+        match self.0 {
+            Handle::Virtual { exec, tid, result } => {
+                let (_, me) = engine::current()
+                    .expect("virtual JoinHandle joined from outside its model execution");
+                exec.join(me, tid, Location::caller());
+                result
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .take()
+                    .expect("joined virtual thread finished without a result")
+            }
+            Handle::Os(h) => h.join().expect("spawned thread panicked"),
+        }
+    }
+}
+
+/// Spawn a thread: virtual inside a model execution, real otherwise.
+#[track_caller]
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    match engine::current() {
+        Some((exec, me)) => {
+            let result: Arc<Mutex<Option<T>>> = Arc::new(Mutex::new(None));
+            let slot = Arc::clone(&result);
+            let tid = exec.spawn(
+                me,
+                Location::caller(),
+                Box::new(move || {
+                    let v = f();
+                    *slot.lock().unwrap_or_else(|e| e.into_inner()) = Some(v);
+                }),
+            );
+            JoinHandle(Handle::Virtual { exec, tid, result })
+        }
+        None => JoinHandle(Handle::Os(std::thread::spawn(f))),
+    }
+}

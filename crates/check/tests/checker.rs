@@ -1,0 +1,350 @@
+//! Self-tests for the model checker: the engine must catch seeded bugs
+//! (races, deadlocks, livelocks, assertion failures), must NOT flag
+//! correctly synchronized protocols, and must replay failures
+//! bit-identically from their seeds.
+
+use fun3d_check::sync::{AtomicBool, AtomicU64, AtomicUsize, Ordering, ShimCell};
+use fun3d_check::{explore, replay_seed, sample, thread, Config, FailureKind};
+use std::sync::Arc;
+
+fn small_cfg() -> Config {
+    Config {
+        max_threads: 4,
+        preemption_bound: Some(3),
+        max_schedules: 50_000,
+        history: 4,
+    }
+}
+
+// ---- positive: correctly synchronized programs pass ----
+
+#[test]
+fn release_acquire_message_passing_passes() {
+    let report = explore(&small_cfg(), || {
+        let data = Arc::new(ShimCell::new(0u64));
+        let flag = Arc::new(AtomicBool::new(false));
+        let (d2, f2) = (Arc::clone(&data), Arc::clone(&flag));
+        let t = thread::spawn(move || {
+            d2.with_mut(|p| unsafe { *p = 42 });
+            f2.store(true, Ordering::Release);
+        });
+        // Spin via the shim so the scheduler can deschedule us.
+        while !flag.load(Ordering::Acquire) {
+            fun3d_check::sync::spin_hint();
+        }
+        data.with(|p| assert_eq!(unsafe { *p }, 42));
+        t.join();
+    });
+    assert!(report.failure.is_none(), "{:?}", report.failure);
+    assert!(report.exhaustive);
+    assert!(report.schedules >= 2, "expected real interleaving exploration");
+}
+
+#[test]
+fn join_synchronizes_without_atomics() {
+    let report = explore(&small_cfg(), || {
+        let data = Arc::new(ShimCell::new(0u64));
+        let d2 = Arc::clone(&data);
+        let t = thread::spawn(move || d2.with_mut(|p| unsafe { *p = 7 }));
+        t.join();
+        data.with(|p| assert_eq!(unsafe { *p }, 7));
+    });
+    assert!(report.failure.is_none(), "{:?}", report.failure);
+}
+
+#[test]
+fn rmw_counter_is_atomic() {
+    // Two increment threads + main: final value must always be 2.
+    let report = explore(&small_cfg(), || {
+        let n = Arc::new(AtomicUsize::new(0));
+        let (a, b) = (Arc::clone(&n), Arc::clone(&n));
+        let t1 = thread::spawn(move || {
+            a.fetch_add(1, Ordering::Relaxed);
+        });
+        let t2 = thread::spawn(move || {
+            b.fetch_add(1, Ordering::Relaxed);
+        });
+        t1.join();
+        t2.join();
+        assert_eq!(n.load(Ordering::Relaxed), 2);
+    });
+    assert!(report.failure.is_none(), "{:?}", report.failure);
+    assert!(report.exhaustive);
+}
+
+// ---- negative: seeded bugs are caught ----
+
+#[test]
+fn unsynchronized_write_write_is_a_race() {
+    let report = explore(&small_cfg(), || {
+        let data = Arc::new(ShimCell::new(0u64));
+        let d2 = Arc::clone(&data);
+        let t = thread::spawn(move || d2.with_mut(|p| unsafe { *p = 1 }));
+        data.with_mut(|p| unsafe { *p = 2 });
+        t.join();
+    });
+    let f = report.failure.expect("checker must flag the race");
+    assert_eq!(f.kind, FailureKind::DataRace);
+    assert!(f.message.contains("data race"), "{}", f.message);
+    assert!(!f.schedule.is_empty());
+}
+
+#[test]
+fn relaxed_flag_publication_is_a_race() {
+    // The classic bug the sync_shim port exists to catch: publishing with
+    // a Relaxed store drops the release edge, so the reader's access to
+    // the payload races with the writer's.
+    let report = explore(&small_cfg(), || {
+        let data = Arc::new(ShimCell::new(0u64));
+        let flag = Arc::new(AtomicBool::new(false));
+        let (d2, f2) = (Arc::clone(&data), Arc::clone(&flag));
+        let t = thread::spawn(move || {
+            d2.with_mut(|p| unsafe { *p = 42 });
+            f2.store(true, Ordering::Relaxed); // BUG: should be Release
+        });
+        while !flag.load(Ordering::Acquire) {
+            fun3d_check::sync::spin_hint();
+        }
+        data.with(|p| unsafe { *p });
+        t.join();
+    });
+    let f = report.failure.expect("checker must flag the relaxed publication");
+    assert_eq!(f.kind, FailureKind::DataRace);
+}
+
+#[test]
+fn relaxed_load_of_release_store_is_a_race() {
+    // The dual bug: the store releases but the reader loads relaxed, so
+    // no acquire edge forms.
+    let report = explore(&small_cfg(), || {
+        let data = Arc::new(ShimCell::new(0u64));
+        let flag = Arc::new(AtomicBool::new(false));
+        let (d2, f2) = (Arc::clone(&data), Arc::clone(&flag));
+        let t = thread::spawn(move || {
+            d2.with_mut(|p| unsafe { *p = 42 });
+            f2.store(true, Ordering::Release);
+        });
+        while !flag.load(Ordering::Relaxed) {
+            // BUG: should be Acquire
+            fun3d_check::sync::spin_hint();
+        }
+        data.with(|p| unsafe { *p });
+        t.join();
+    });
+    let f = report.failure.expect("checker must flag the relaxed load");
+    assert_eq!(f.kind, FailureKind::DataRace);
+}
+
+#[test]
+fn relaxed_loads_explore_stale_values() {
+    // With no synchronization at all, a relaxed load may legally return
+    // the older value even after the store is coherence-ordered first in
+    // some schedules. The checker must find an execution where the load
+    // sees 0 *after* the writer finished — i.e. it explores read-from
+    // choices, not just interleavings.
+    let report = explore(&small_cfg(), || {
+        let x = Arc::new(AtomicU64::new(0));
+        let x2 = Arc::clone(&x);
+        let t = thread::spawn(move || x2.store(1, Ordering::Relaxed));
+        t.join();
+        // Join is a real happens-before edge, so here the stale value is
+        // excluded: must read 1.
+        assert_eq!(x.load(Ordering::Relaxed), 1);
+    });
+    assert!(report.failure.is_none(), "{:?}", report.failure);
+
+    // Without the join edge, some schedule must observe the stale 0 even
+    // though the store already happened in coherence order.
+    let report = explore(&small_cfg(), || {
+        let x = Arc::new(AtomicU64::new(0));
+        let saw = Arc::new(AtomicBool::new(false));
+        let (x2, saw2) = (Arc::clone(&x), Arc::clone(&saw));
+        let t = thread::spawn(move || {
+            if x2.load(Ordering::Relaxed) == 0 {
+                saw2.store(true, Ordering::Relaxed);
+            }
+        });
+        x.store(1, Ordering::Relaxed);
+        t.join();
+    });
+    assert!(report.failure.is_none(), "{:?}", report.failure);
+}
+
+#[test]
+fn deadlock_is_detected() {
+    let report = explore(&small_cfg(), || {
+        // Main joins a child that spins forever on a flag nobody sets —
+        // after the child blocks, no live thread can store: livelock or
+        // (if the child never gets to spin) deadlock. Either way the
+        // execution must fail rather than hang.
+        let flag = Arc::new(AtomicBool::new(false));
+        let f2 = Arc::clone(&flag);
+        let t = thread::spawn(move || {
+            while !f2.load(Ordering::Acquire) {
+                fun3d_check::sync::spin_hint();
+            }
+        });
+        t.join();
+    });
+    let f = report.failure.expect("hung model must fail, not hang");
+    assert!(
+        matches!(f.kind, FailureKind::Livelock | FailureKind::Deadlock),
+        "{:?}",
+        f.kind
+    );
+}
+
+#[test]
+fn assertion_panics_become_failures_with_schedules() {
+    let report = explore(&small_cfg(), || {
+        let x = Arc::new(AtomicU64::new(0));
+        let x2 = Arc::clone(&x);
+        let t = thread::spawn(move || x2.store(1, Ordering::Release));
+        // Racy check: some schedules see 0, some see 1 — the 0 schedules
+        // must surface as Panic failures.
+        assert_eq!(x.load(Ordering::Acquire), 1, "lost the race");
+        t.join();
+    });
+    let f = report.failure.expect("some schedule must fail the assertion");
+    assert_eq!(f.kind, FailureKind::Panic);
+    assert!(f.message.contains("lost the race"), "{}", f.message);
+}
+
+// ---- exploration mechanics ----
+
+#[test]
+fn preemption_bound_prunes_schedules() {
+    let body = || {
+        let x = Arc::new(AtomicU64::new(0));
+        let x2 = Arc::clone(&x);
+        let t = thread::spawn(move || {
+            for _ in 0..3 {
+                x2.fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        for _ in 0..3 {
+            x.fetch_add(1, Ordering::Relaxed);
+        }
+        t.join();
+    };
+    let unbounded = explore(
+        &Config {
+            preemption_bound: None,
+            ..small_cfg()
+        },
+        body,
+    );
+    let bounded = explore(
+        &Config {
+            preemption_bound: Some(1),
+            ..small_cfg()
+        },
+        body,
+    );
+    assert!(unbounded.failure.is_none());
+    assert!(bounded.failure.is_none());
+    assert!(
+        bounded.schedules < unbounded.schedules,
+        "bound must prune: {} !< {}",
+        bounded.schedules,
+        unbounded.schedules
+    );
+}
+
+#[test]
+fn schedule_budget_is_respected() {
+    let report = explore(
+        &Config {
+            max_schedules: 5,
+            ..small_cfg()
+        },
+        || {
+            let x = Arc::new(AtomicU64::new(0));
+            let x2 = Arc::clone(&x);
+            let t = thread::spawn(move || {
+                for _ in 0..4 {
+                    x2.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+            for _ in 0..4 {
+                x.fetch_add(1, Ordering::Relaxed);
+            }
+            t.join();
+        },
+    );
+    assert!(!report.exhaustive);
+    assert_eq!(report.schedules, 5);
+}
+
+// ---- seeded replay (satellite: FUN3D_CHECK_SEED determinism) ----
+
+fn racy_body() {
+    let data = Arc::new(ShimCell::new(0u64));
+    let flag = Arc::new(AtomicBool::new(false));
+    let (d2, f2) = (Arc::clone(&data), Arc::clone(&flag));
+    let t = thread::spawn(move || {
+        d2.with_mut(|p| unsafe { *p = 42 });
+        f2.store(true, Ordering::Relaxed); // BUG: should be Release
+    });
+    if flag.load(Ordering::Acquire) {
+        data.with(|p| unsafe { *p });
+    }
+    t.join();
+}
+
+#[test]
+fn sampling_finds_the_race_and_reports_a_seed() {
+    let report = sample(&small_cfg(), 500, 0x5eed_f00d, racy_body);
+    let f = report.failure.expect("sampling must find the race");
+    assert_eq!(f.kind, FailureKind::DataRace);
+    let seed = f.seed.expect("random-mode failures carry their seed");
+    let rendered = f.render("racy_body");
+    assert!(
+        rendered.contains(&format!("FUN3D_CHECK_SEED={seed:#018x}")),
+        "report must print a replay line: {rendered}"
+    );
+}
+
+#[test]
+fn failing_seed_replays_bit_identically() {
+    let report = sample(&small_cfg(), 500, 0xdead_beef, racy_body);
+    let f = report.failure.expect("sampling must find the race");
+    let seed = f.seed.unwrap();
+    // Replaying the reported seed must reproduce the exact schedule —
+    // the same Vec<Step>, not merely the same failure kind.
+    let replay = replay_seed(&small_cfg(), seed, racy_body);
+    let rf = replay.failure.expect("replay must reproduce the failure");
+    assert_eq!(rf.kind, f.kind);
+    assert_eq!(rf.schedule, f.schedule, "replay diverged from the original failure");
+    assert_eq!(rf.message, f.message);
+    // And twice more for determinism paranoia.
+    let replay2 = replay_seed(&small_cfg(), seed, racy_body);
+    assert_eq!(replay2.failure.unwrap().schedule, f.schedule);
+}
+
+#[test]
+fn model_random_honors_env_seed_contract() {
+    // model_random derives its base seed from the name (no env var), so
+    // two runs are identical; this is the determinism proptest_mini
+    // promises for FUN3D_PROP_SEED, mirrored for FUN3D_CHECK_SEED.
+    let a = sample(&small_cfg(), 50, fun3d_check::fnv1a("some-model"), || {
+        let x = Arc::new(AtomicU64::new(0));
+        let x2 = Arc::clone(&x);
+        let t = thread::spawn(move || x2.store(1, Ordering::Release));
+        x.load(Ordering::Acquire);
+        t.join();
+    });
+    assert!(a.failure.is_none());
+    assert_eq!(a.schedules, 50);
+}
+
+// ---- verify.sh negative wiring: a deliberately racy model run under
+// `fun3d_check::model` must make the test binary FAIL. verify.sh runs
+// this ignored test and asserts a nonzero exit, proving the harness
+// actually turns races into failures (the PR-1 guard idiom). ----
+
+#[test]
+#[ignore = "negative canary: run by scripts/verify.sh expecting failure"]
+fn canary_unchecked_race_fails_the_suite() {
+    fun3d_check::model("canary_unchecked_race", racy_body);
+}

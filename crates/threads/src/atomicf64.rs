@@ -5,8 +5,20 @@
 //! write-write races with atomic adds. x86 has no atomic f64 add, so —
 //! exactly like an OpenMP `atomic` on a double — each add is a
 //! compare-exchange loop on the 64-bit bit pattern.
+//!
+//! Contention is *measured*, not assumed: every CAS retry is counted,
+//! and the view records the totals to telemetry as the
+//! `atomicf64.retries` kernel counter (`calls` = contended adds,
+//! `items` = total retries) once when it is dropped — one record per
+//! parallel region, never from the inner loop.
 
+use fun3d_util::telemetry;
+
+#[cfg(not(fun3d_check))]
 use std::sync::atomic::{AtomicU64, Ordering};
+
+#[cfg(fun3d_check)]
+use crate::sync_shim::{AtomicU64, Ordering};
 
 /// A view of a mutable `f64` slice that permits concurrent atomic updates.
 ///
@@ -14,18 +26,62 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// atomics are the only access path — the reinterpretation is sound
 /// because `AtomicU64` has the same size/alignment as `f64` and the borrow
 /// checker keeps plain accesses out until the view is dropped.
+///
+/// Model builds (`cfg(fun3d_check)`) cannot reinterpret in place — the
+/// checker's tracked atomic is wider than 8 bytes — so the view copies
+/// the values into tracked atomics at construction and writes them back
+/// at drop. The protocol, orderings, and retry accounting are identical.
 pub struct AtomicF64View<'a> {
+    #[cfg(not(fun3d_check))]
     cells: &'a [AtomicU64],
+    #[cfg(fun3d_check)]
+    cells: Vec<AtomicU64>,
+    #[cfg(fun3d_check)]
+    src: *mut f64,
+    #[cfg(fun3d_check)]
+    _borrow: std::marker::PhantomData<&'a mut [f64]>,
+    /// Total CAS retries across all threads (Relaxed statistic; the
+    /// region join orders it before the Drop-time read).
+    retries: std::sync::atomic::AtomicU64,
+    /// Adds that needed at least one retry.
+    contended: std::sync::atomic::AtomicU64,
 }
+
+// SAFETY (fun3d_check builds only): `src` is a raw pointer solely so the
+// copy-back in Drop can reach the borrowed slice; all shared access goes
+// through the tracked atomics, and the PhantomData keeps the unique
+// borrow alive for the view's lifetime.
+#[cfg(fun3d_check)]
+unsafe impl Send for AtomicF64View<'_> {}
+#[cfg(fun3d_check)]
+unsafe impl Sync for AtomicF64View<'_> {}
 
 impl<'a> AtomicF64View<'a> {
     /// Wraps a mutable slice for the duration of a parallel region.
+    #[cfg(not(fun3d_check))]
     pub fn new(xs: &'a mut [f64]) -> Self {
         // SAFETY: f64 and AtomicU64 are both 8 bytes with 8-byte alignment
         // on all supported targets; we hold the unique &mut borrow, so no
         // non-atomic access can alias the cells while the view lives.
         let cells = unsafe { &*(xs as *mut [f64] as *const [AtomicU64]) };
-        AtomicF64View { cells }
+        AtomicF64View {
+            cells,
+            retries: std::sync::atomic::AtomicU64::new(0),
+            contended: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+
+    /// Wraps a mutable slice for the duration of a parallel region
+    /// (model build: copy-in/copy-back through tracked atomics).
+    #[cfg(fun3d_check)]
+    pub fn new(xs: &'a mut [f64]) -> Self {
+        AtomicF64View {
+            cells: xs.iter().map(|&x| AtomicU64::new(x.to_bits())).collect(),
+            src: xs.as_mut_ptr(),
+            _borrow: std::marker::PhantomData,
+            retries: std::sync::atomic::AtomicU64::new(0),
+            contended: std::sync::atomic::AtomicU64::new(0),
+        }
     }
 
     /// Number of elements.
@@ -45,29 +101,77 @@ impl<'a> AtomicF64View<'a> {
     pub fn fetch_add(&self, i: usize, v: f64) -> u32 {
         let cell = &self.cells[i];
         let mut retries = 0;
+        // Relaxed throughout the loop: the adds commute and publish no
+        // other data; cross-thread visibility of the *final* values is
+        // ordered by the region join (pool `done`/Acquire handshake)
+        // before any non-atomic read of the slice.
         let mut cur = cell.load(Ordering::Relaxed);
         loop {
             let new = f64::to_bits(f64::from_bits(cur) + v);
             match cell.compare_exchange_weak(cur, new, Ordering::Relaxed, Ordering::Relaxed) {
-                Ok(_) => return retries,
+                Ok(_) => break,
                 Err(actual) => {
                     cur = actual;
                     retries += 1;
                 }
             }
         }
+        if retries > 0 {
+            // Relaxed statistics: totals are read after the region joins.
+            self.retries
+                .fetch_add(retries as u64, std::sync::atomic::Ordering::Relaxed);
+            self.contended
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        }
+        retries
     }
 
     /// Atomic read of element `i`.
     #[inline]
     pub fn load(&self, i: usize) -> f64 {
+        // Relaxed: the caller orders cross-thread write→read pairs with
+        // region joins / flags; the atomicity is all this read needs.
         f64::from_bits(self.cells[i].load(Ordering::Relaxed))
     }
 
     /// Atomic store of element `i`.
     #[inline]
     pub fn store(&self, i: usize, v: f64) {
+        // Relaxed: same contract as `load` — values, not publication.
         self.cells[i].store(f64::to_bits(v), Ordering::Relaxed);
+    }
+
+    /// Total CAS retries observed so far (Relaxed read; exact once the
+    /// region has joined).
+    pub fn retries(&self) -> u64 {
+        self.retries.load(std::sync::atomic::Ordering::Relaxed)
+    }
+}
+
+impl Drop for AtomicF64View<'_> {
+    fn drop(&mut self) {
+        #[cfg(fun3d_check)]
+        {
+            // Copy-back: the unique borrow revives when the view dies.
+            for (i, cell) in self.cells.iter().enumerate() {
+                // SAFETY: src/len came from the borrowed slice; `i` is in
+                // bounds by construction.
+                unsafe { *self.src.add(i) = f64::from_bits(cell.load(Ordering::Relaxed)) };
+            }
+        }
+        let retries = self.retries.load(std::sync::atomic::Ordering::Relaxed);
+        if retries > 0 {
+            telemetry::record_kernel(
+                "atomicf64.retries",
+                telemetry::KernelCounts {
+                    calls: self.contended.load(std::sync::atomic::Ordering::Relaxed),
+                    items: retries,
+                    bytes_read: 0,
+                    bytes_written: 0,
+                    flops: 0,
+                },
+            );
+        }
     }
 }
 
@@ -124,5 +228,35 @@ mod tests {
         let mut xs: Vec<f64> = Vec::new();
         let view = AtomicF64View::new(&mut xs);
         assert!(view.is_empty());
+    }
+
+    #[test]
+    fn retry_totals_reach_telemetry() {
+        // Plumbing check for the `atomicf64.retries` counter: force the
+        // retry path deterministically by making the first CAS lose (the
+        // cell changes between the view's load and its compare-exchange
+        // in a controlled interleaving is hard to stage on one core, so
+        // this test checks the accounting seam instead: a nonzero
+        // `retries` total at drop must surface exactly one counter
+        // record with matching items).
+        telemetry::set_level(telemetry::Level::Counters);
+        let before = telemetry::local_counters()
+            .get("atomicf64.retries")
+            .copied()
+            .unwrap_or_default();
+        {
+            let mut xs = vec![0.0f64; 2];
+            let view = AtomicF64View::new(&mut xs);
+            // Seed the counters as a real contended run would.
+            view.retries.fetch_add(3, std::sync::atomic::Ordering::Relaxed);
+            view.contended.fetch_add(2, std::sync::atomic::Ordering::Relaxed);
+            assert_eq!(view.retries(), 3);
+        }
+        let after = telemetry::local_counters()
+            .get("atomicf64.retries")
+            .copied()
+            .unwrap_or_default();
+        assert_eq!(after.items - before.items, 3, "retry total must be recorded");
+        assert_eq!(after.calls - before.calls, 2, "contended-add count must be recorded");
     }
 }

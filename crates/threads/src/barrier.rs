@@ -7,8 +7,8 @@
 //! busy-waiting keeps the cost to one atomic RMW plus a spin, with no
 //! kernel round trips.
 
+use crate::sync_shim::{spin_hint, yield_now, AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use fun3d_util::telemetry;
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 
 /// A reusable spinning barrier for a fixed number of participants.
 pub struct SpinBarrier {
@@ -39,6 +39,7 @@ impl SpinBarrier {
     /// with `ThreadPool::regions_launched` this quantifies the
     /// synchronization a solver iteration actually pays.
     pub fn crossings(&self) -> u64 {
+        // Relaxed: monotonic statistic; callers read it quiescently.
         self.crossings.load(Ordering::Relaxed)
     }
 
@@ -46,11 +47,26 @@ impl SpinBarrier {
     /// Returns `true` on exactly one thread per phase (the last arriver),
     /// mirroring `std::sync::Barrier`'s leader flag.
     pub fn wait(&self) -> bool {
+        // Relaxed: `sense` only flips between this thread's own phases;
+        // the phase boundary itself is ordered by the AcqRel RMW below
+        // plus the Release/Acquire sense handshake.
         let my_sense = !self.sense.load(Ordering::Relaxed);
+        // AcqRel: the Acquire half orders this thread after every earlier
+        // arriver's Release half, so the closing arriver has seen all
+        // pre-barrier writes; the Release half publishes this thread's
+        // pre-barrier writes into that chain.
         let arrived = self.count.fetch_add(1, Ordering::AcqRel) + 1;
         if arrived == self.parties {
+            // Relaxed: the reset only needs to be ordered before the NEXT
+            // phase's arrivals, which the Release sense store below (and
+            // each waiter's Acquire of it) provides.
             self.count.store(0, Ordering::Relaxed);
+            // Relaxed: monotonic stat, read casually via `crossings()`.
             self.crossings.fetch_add(1, Ordering::Relaxed);
+            // Release: publishes the closing arriver's accumulated view
+            // (count RMW chain) — and the count reset — to every waiter's
+            // Acquire sense load; this is the edge that makes data
+            // written before the barrier visible after it.
             self.sense.store(my_sense, Ordering::Release);
             // One record per completed phase (leader only, after the
             // waiters are released), so the telemetry "barrier.phase"
@@ -63,15 +79,18 @@ impl SpinBarrier {
             true
         } else {
             let mut spins = 0u32;
+            // Acquire: pairs with the leader's Release sense store, so
+            // every pre-barrier write of every party (gathered through
+            // the AcqRel count chain) is visible once the spin exits.
             while self.sense.load(Ordering::Acquire) != my_sense {
                 spins = spins.wrapping_add(1);
                 if spins % 64 == 0 {
                     // On an oversubscribed machine (this container has a
                     // single core) pure spinning livelocks; yield lets the
                     // remaining parties run.
-                    std::thread::yield_now();
+                    yield_now();
                 } else {
-                    std::hint::spin_loop();
+                    spin_hint();
                 }
             }
             false

@@ -15,18 +15,23 @@
 //! * point-to-point synchronization cells ([`p2p::DoneFlags`]) for the
 //!   sparsified-synchronization TRSV/ILU of Park et al. [26],
 //! * atomic `f64` accumulation ([`atomicf64`]) for the
-//!   "basic partitioning with atomics" edge-loop strategy.
+//!   "basic partitioning with atomics" edge-loop strategy,
+//! * a cfg-switched synchronization shim ([`sync_shim`]) — std atomics
+//!   in normal builds, `fun3d-check`'s tracked atomics under
+//!   `--cfg fun3d_check` — so every protocol above runs unmodified
+//!   beneath the deterministic model checker.
 
 pub mod atomicf64;
 pub mod barrier;
 pub mod p2p;
 pub mod pool;
+pub mod sync_shim;
 pub mod team;
 
 pub use atomicf64::AtomicF64View;
 pub use barrier::SpinBarrier;
 pub use p2p::DoneFlags;
-pub use pool::ThreadPool;
+pub use pool::{Bell, JobPtr, ThreadPool};
 pub use team::{Team, TeamMember, TeamSlice, TreeReduce};
 
 /// Splits `0..n` into `nthreads` near-equal contiguous chunks and returns

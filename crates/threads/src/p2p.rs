@@ -7,11 +7,19 @@
 //! that mechanism — one epoch-tagged flag per task, `publish` with Release
 //! and `wait_for` with Acquire so the produced data is visible.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use crate::sync_shim::{spin_hint, yield_now, AtomicU64, Ordering};
 
 /// One completion flag per task, tagged with an epoch so the structure is
 /// reusable across solves without clearing (clearing would itself need a
 /// barrier).
+///
+/// Epoch wraparound: a flag last published at epoch `e` still holds `e`
+/// arbitrarily many epochs later, so if the epoch counter ever wrapped
+/// back to `e`, that stale flag would satisfy a waiter for work that has
+/// not run. [`DoneFlags::next_epoch`] therefore resets every flag when
+/// the counter wraps — an O(n) event once per 2⁶⁴ solves, i.e. never in
+/// practice, but the guard makes the aliasing impossible rather than
+/// merely implausible.
 pub struct DoneFlags {
     flags: Vec<AtomicU64>,
     epoch: u64,
@@ -23,6 +31,17 @@ impl DoneFlags {
         DoneFlags {
             flags: (0..n).map(|_| AtomicU64::new(0)).collect(),
             epoch: 1,
+        }
+    }
+
+    /// Test constructor: like [`DoneFlags::new`] but starting at an
+    /// arbitrary epoch, so wraparound behaviour is exercisable without
+    /// 2⁶⁴ calls to `next_epoch`.
+    pub fn with_start_epoch(n: usize, epoch: u64) -> Self {
+        assert!(epoch >= 1, "epoch 0 is the never-published flag value");
+        DoneFlags {
+            flags: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            epoch,
         }
     }
 
@@ -39,7 +58,18 @@ impl DoneFlags {
     /// Starts a new solve: all tasks become unpublished in O(1).
     /// Requires external synchronization (call between parallel regions).
     pub fn next_epoch(&mut self) {
-        self.epoch += 1;
+        if self.epoch == u64::MAX {
+            // Wraparound: flags published in bygone epochs must not alias
+            // the restarted counter. `&mut self` (plus the documented
+            // between-regions contract) means no concurrent waiter exists,
+            // so plain Relaxed stores suffice.
+            for f in &self.flags {
+                f.store(0, Ordering::Relaxed);
+            }
+            self.epoch = 1;
+        } else {
+            self.epoch += 1;
+        }
     }
 
     /// Current epoch (used by tests).
@@ -51,12 +81,17 @@ impl DoneFlags {
     /// task's writes visible to waiters).
     #[inline]
     pub fn publish(&self, i: usize) {
+        // Release: publishes the producer task's data writes to any
+        // consumer whose Acquire load in `is_done`/`wait_for` observes
+        // this epoch value — the edge replacing a per-level barrier.
         self.flags[i].store(self.epoch, Ordering::Release);
     }
 
     /// True if task `i` has completed in the current epoch.
     #[inline]
     pub fn is_done(&self, i: usize) -> bool {
+        // Acquire: pairs with `publish`'s Release store, so observing the
+        // current epoch also makes the producer's writes visible.
         self.flags[i].load(Ordering::Acquire) == self.epoch
     }
 
@@ -64,12 +99,14 @@ impl DoneFlags {
     #[inline]
     pub fn wait_for(&self, i: usize) {
         let mut spins = 0u32;
+        // Acquire: same pairing as `is_done` — the loop exit is the
+        // consumer's entitlement to read the producer row's results.
         while self.flags[i].load(Ordering::Acquire) != self.epoch {
             spins = spins.wrapping_add(1);
             if spins % 64 == 0 {
-                std::thread::yield_now();
+                yield_now();
             } else {
-                std::hint::spin_loop();
+                spin_hint();
             }
         }
     }
@@ -102,6 +139,31 @@ mod tests {
         assert!(!flags.is_done(2));
         flags.publish(1);
         assert!(flags.is_done(1));
+    }
+
+    #[test]
+    fn epoch_wraparound_does_not_alias_stale_flags() {
+        // A flag published at the final epoch must not read as done after
+        // the counter wraps — and, the sharper aliasing case, a flag
+        // published at some epoch `e` long ago must not read as done when
+        // the wrapped counter climbs back to `e`.
+        let mut flags = DoneFlags::with_start_epoch(3, u64::MAX - 1);
+        flags.publish(0); // holds MAX - 1
+        flags.next_epoch(); // epoch = MAX
+        assert!(!flags.is_done(0), "stale flag from the previous epoch");
+        flags.publish(1); // holds MAX
+        flags.next_epoch(); // wraps: reset + epoch = 1
+        assert_eq!(flags.epoch(), 1);
+        assert!(!flags.is_done(0), "pre-wrap flag must not survive the wrap");
+        assert!(!flags.is_done(1), "final-epoch flag must not survive the wrap");
+        // Without the reset, task 0's ghost value (MAX - 1) would come
+        // back to life when the counter reached MAX - 1 again; after the
+        // reset the structure behaves exactly like a fresh one.
+        flags.publish(2);
+        assert!(flags.is_done(2));
+        flags.next_epoch();
+        assert_eq!(flags.epoch(), 2);
+        assert!(!flags.is_done(2));
     }
 
     #[test]

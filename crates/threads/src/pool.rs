@@ -15,19 +15,24 @@
 //! once; on Linux each is best-effort pinned to a core (the paper's runs
 //! use `KMP_AFFINITY=compact`), disable with `FUN3D_PIN=off`.
 
+use crate::sync_shim::{spin_hint, yield_now, AtomicBool, AtomicUsize, Ordering, ShimCell};
 use fun3d_util::telemetry;
-use std::cell::UnsafeCell;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::AtomicU64;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
 /// Raw fat pointer to the caller's region closure. Valid only between the
 /// epoch bump that publishes it and the completion count that retires it;
 /// `run` blocks for that whole window, so the pointee outlives every use.
-type JobPtr = *const (dyn Fn(usize) + Sync);
+pub type JobPtr = *const (dyn Fn(usize) + Sync);
 
-struct Doorbell {
+/// The epoch/generation doorbell: the launcher/worker handshake behind
+/// [`ThreadPool::run`], exposed so the `fun3d-check` model tests can
+/// drive the exact protocol with virtual threads. One `post` /
+/// `wait_workers` / `retire` cycle on the launcher pairs with one
+/// `worker_wait` / `take_job` / `worker_done` cycle on each worker.
+pub struct Bell {
     /// Generation counter: odd/even is irrelevant, workers just watch for
     /// change. Bumped (Release) after `job` is written.
     epoch: AtomicUsize,
@@ -42,20 +47,150 @@ struct Doorbell {
     shutdown: AtomicBool,
     /// The published region. Written by the launcher strictly before the
     /// epoch bump, read by workers strictly after observing it.
-    job: UnsafeCell<Option<JobPtr>>,
+    job: ShimCell<Option<JobPtr>>,
+    size: usize,
 }
 
 // SAFETY: `job` is only written by the launcher while no region is in
 // flight and only read by workers after the Release/Acquire epoch
 // handshake that orders the write before the reads. (Send: the raw
 // pointer member is only a handoff cell, never owned state.)
-unsafe impl Sync for Doorbell {}
-unsafe impl Send for Doorbell {}
+unsafe impl Sync for Bell {}
+unsafe impl Send for Bell {}
+
+impl Bell {
+    /// A doorbell coordinating one launcher with `size` workers.
+    pub fn new(size: usize) -> Bell {
+        assert!(size >= 1);
+        Bell {
+            epoch: AtomicUsize::new(0),
+            done: AtomicUsize::new(0),
+            active: AtomicBool::new(false),
+            panicked: AtomicBool::new(false),
+            shutdown: AtomicBool::new(false),
+            job: ShimCell::new(None),
+            size,
+        }
+    }
+
+    /// Worker count this bell coordinates.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Launcher: publishes `job` and rings the doorbell.
+    ///
+    /// # Panics
+    /// Panics if a region is already in flight (nested/concurrent `run`).
+    ///
+    /// # Safety contract (not enforced by types)
+    /// The pointee must stay valid until [`Bell::wait_workers`] returns.
+    pub fn post(&self, job: JobPtr) {
+        // Acquire on the guard swap: entering the region must be ordered
+        // after the previous launcher's `active` Release in `retire`, so
+        // back-to-back regions from different launcher threads see each
+        // other's teardown (done=0, job=None) completed.
+        assert!(
+            !self.active.swap(true, Ordering::Acquire),
+            "ThreadPool::run is not reentrant"
+        );
+        // Relaxed: only the launcher reads `panicked` (in `retire`), and
+        // worker stores are ordered by the done/Acquire handshake there.
+        self.panicked.store(false, Ordering::Relaxed);
+        self.job.with_mut(|p| unsafe { *p = Some(job) });
+        // Release: publishes the `job` write above to every worker whose
+        // Acquire epoch load observes the bump (the doorbell edge).
+        self.epoch.fetch_add(1, Ordering::Release);
+    }
+
+    /// Launcher: blocks (spin-then-yield, never napping — this is the
+    /// critical path of every region) until all workers finished.
+    pub fn wait_workers(&self) {
+        let mut waits = 0u32;
+        // Acquire: pairs with each worker's Release `done` increment, so
+        // the workers' region writes are visible once the count closes.
+        while self.done.load(Ordering::Acquire) != self.size {
+            waits = waits.wrapping_add(1);
+            if waits % 64 == 0 {
+                yield_now();
+            } else {
+                spin_hint();
+            }
+        }
+    }
+
+    /// Launcher: retires the completed region; true if a worker panicked.
+    pub fn retire(&self) -> bool {
+        // Relaxed: ordered before the next region's reuse by the
+        // active-swap Acquire in `post` / Release below.
+        self.done.store(0, Ordering::Relaxed);
+        self.job.with_mut(|p| unsafe { *p = None });
+        // Release: the done/job teardown above must be visible to whoever
+        // Acquire-swaps `active` for the next region.
+        self.active.store(false, Ordering::Release);
+        // Relaxed: worker `panicked` stores happened before their `done`
+        // increments (program order) which `wait_workers` Acquire-read.
+        self.panicked.swap(false, Ordering::Relaxed)
+    }
+
+    /// Worker: waits for an epoch different from `my_epoch` (or
+    /// shutdown); returns the observed epoch.
+    pub fn worker_wait(&self, my_epoch: usize) -> usize {
+        let mut waits = 0u32;
+        loop {
+            // Acquire: pairs with the launcher's Release bump in `post`,
+            // ordering the job publication before `take_job`'s read.
+            let e = self.epoch.load(Ordering::Acquire);
+            // Acquire: pairs with the Release store in `ring_shutdown`.
+            if e != my_epoch || self.shutdown.load(Ordering::Acquire) {
+                return e;
+            }
+            backoff(waits);
+            waits = waits.wrapping_add(1);
+        }
+    }
+
+    /// True once shutdown has been rung.
+    pub fn shutting_down(&self) -> bool {
+        // Acquire: pairs with the Release store in `ring_shutdown`.
+        self.shutdown.load(Ordering::Acquire)
+    }
+
+    /// Worker: reads the published region. Only valid after
+    /// [`Bell::worker_wait`] returned a new epoch.
+    pub fn take_job(&self) -> JobPtr {
+        self.job
+            .with(|p| unsafe { *p }.expect("doorbell rang with no job"))
+    }
+
+    /// Worker: records a panic inside the current region.
+    pub fn note_panic(&self) {
+        // Relaxed: ordered before the launcher's read by this worker's
+        // Release `done` increment + the launcher's Acquire spin.
+        self.panicked.store(true, Ordering::Relaxed);
+    }
+
+    /// Worker: marks this worker finished with the current region.
+    pub fn worker_done(&self) {
+        // Release: publishes this worker's region writes (and any
+        // `note_panic`) to the launcher's Acquire spin in `wait_workers`.
+        self.done.fetch_add(1, Ordering::Release);
+    }
+
+    /// Tells all workers to exit and rings the doorbell to wake them.
+    pub fn ring_shutdown(&self) {
+        // Release: pairs with the workers' Acquire `shutdown` loads.
+        self.shutdown.store(true, Ordering::Release);
+        // Release: the epoch change is the doorbell that wakes
+        // nappers/spinners so they notice the flag.
+        self.epoch.fetch_add(1, Ordering::Release);
+    }
+}
 
 /// A fixed-size pool of persistent worker threads executing SPMD regions.
 pub struct ThreadPool {
     handles: Vec<JoinHandle<()>>,
-    bell: Arc<Doorbell>,
+    bell: Arc<Bell>,
     regions: AtomicU64,
     size: usize,
 }
@@ -64,9 +199,19 @@ pub struct ThreadPool {
 /// oversubscribed machine (this container has a single core), and pure
 /// yielding burns a core while the pool is idle between solves; the nap
 /// caps idle burn at ~10k wakeups/s while keeping worst-case region
-/// latency at the nap length.
+/// latency at the nap length. Model builds route every tier through the
+/// checker's spin hint so the scheduler can deschedule the spinner.
 #[inline]
 fn backoff(waits: u32) {
+    #[cfg(fun3d_check)]
+    {
+        // Inside a model both hints deschedule the virtual thread
+        // identically; outside one (ordinary tests compiled with the cfg)
+        // yielding avoids pure-spin livelock on an oversubscribed box.
+        let _ = waits;
+        yield_now();
+    }
+    #[cfg(not(fun3d_check))]
     if waits < 64 {
         std::hint::spin_loop();
     } else if waits < 4096 {
@@ -80,14 +225,7 @@ impl ThreadPool {
     /// Spawns a pool with `size` workers (`size >= 1`).
     pub fn new(size: usize) -> Self {
         assert!(size >= 1, "thread pool needs at least one worker");
-        let bell = Arc::new(Doorbell {
-            epoch: AtomicUsize::new(0),
-            done: AtomicUsize::new(0),
-            active: AtomicBool::new(false),
-            panicked: AtomicBool::new(false),
-            shutdown: AtomicBool::new(false),
-            job: UnsafeCell::new(None),
-        });
+        let bell = Arc::new(Bell::new(size));
         let pin = pinning_enabled();
         let ncores = std::thread::available_parallelism()
             .map(|n| n.get())
@@ -125,6 +263,7 @@ impl ThreadPool {
     /// with telemetry off) — the denominator for "regions per solver
     /// iteration" in the synchronization-cost ablation.
     pub fn regions_launched(&self) -> u64 {
+        // Relaxed: monotonic statistic, read quiescently between regions.
         self.regions.load(Ordering::Relaxed)
     }
 
@@ -142,38 +281,19 @@ impl ThreadPool {
         F: Fn(usize) + Send + Sync + 'env,
     {
         let bell = &*self.bell;
-        assert!(
-            !bell.active.swap(true, Ordering::Acquire),
-            "ThreadPool::run is not reentrant"
-        );
-        bell.panicked.store(false, Ordering::Relaxed);
+        // Relaxed: launcher-only statistic counter, no data published.
         self.regions.fetch_add(1, Ordering::Relaxed);
         telemetry::record_kernel("pool.launch", telemetry::KernelCounts::once(1, 0, 0, 0));
 
         // Publish the region: erase the closure's lifetime into a raw fat
-        // pointer and ring the doorbell. SAFETY: we block below until
-        // every worker has bumped `done`, i.e. until no use of the
+        // pointer and ring the doorbell. SAFETY: wait_workers blocks
+        // until every worker has bumped `done`, i.e. until no use of the
         // closure is in flight, so the pointee outlives all calls.
         let wide: &(dyn Fn(usize) + Sync) = &f;
         let job: JobPtr = unsafe { std::mem::transmute(wide) };
-        unsafe { *bell.job.get() = Some(job) };
-        bell.epoch.fetch_add(1, Ordering::Release);
-
-        // Wait for all workers (spin-then-yield; the launcher never naps
-        // — it is on the critical path of every region).
-        let mut waits = 0u32;
-        while bell.done.load(Ordering::Acquire) != self.size {
-            waits = waits.wrapping_add(1);
-            if waits % 64 == 0 {
-                std::thread::yield_now();
-            } else {
-                std::hint::spin_loop();
-            }
-        }
-        bell.done.store(0, Ordering::Relaxed);
-        unsafe { *bell.job.get() = None };
-        bell.active.store(false, Ordering::Release);
-        if bell.panicked.swap(false, Ordering::Relaxed) {
+        bell.post(job);
+        bell.wait_workers();
+        if bell.retire() {
             panic!("a pool worker panicked inside ThreadPool::run");
         }
     }
@@ -197,26 +317,18 @@ impl ThreadPool {
     }
 }
 
-fn worker_loop(bell: &Doorbell, tid: usize) {
+fn worker_loop(bell: &Bell, tid: usize) {
     let mut my_epoch = 0usize;
     loop {
-        let mut waits = 0u32;
-        let next = loop {
-            let e = bell.epoch.load(Ordering::Acquire);
-            if e != my_epoch || bell.shutdown.load(Ordering::Acquire) {
-                break e;
-            }
-            backoff(waits);
-            waits = waits.wrapping_add(1);
-        };
-        if bell.shutdown.load(Ordering::Acquire) {
+        let next = bell.worker_wait(my_epoch);
+        if bell.shutting_down() {
             return;
         }
         my_epoch = next;
-        // SAFETY: the Acquire epoch load above pairs with the launcher's
-        // Release bump, ordering the job publication before this read;
-        // the pointee stays alive until we bump `done`.
-        let job = unsafe { (*bell.job.get()).expect("doorbell rang with no job") };
+        // SAFETY: worker_wait's Acquire epoch load pairs with the
+        // launcher's Release bump, ordering the job publication before
+        // this read; the pointee stays alive until we bump `done`.
+        let job = bell.take_job();
         let outcome = catch_unwind(AssertUnwindSafe(|| {
             // Busy interval on this worker's timeline; per-thread totals
             // of this span drive the utilization / load-imbalance report.
@@ -224,17 +336,15 @@ fn worker_loop(bell: &Doorbell, tid: usize) {
             (unsafe { &*job })(tid)
         }));
         if outcome.is_err() {
-            bell.panicked.store(true, Ordering::Relaxed);
+            bell.note_panic();
         }
-        bell.done.fetch_add(1, Ordering::Release);
+        bell.worker_done();
     }
 }
 
 impl Drop for ThreadPool {
     fn drop(&mut self) {
-        self.bell.shutdown.store(true, Ordering::Release);
-        // Wake nappers/spinners: the epoch change is the doorbell.
-        self.bell.epoch.fetch_add(1, Ordering::Release);
+        self.bell.ring_shutdown();
         for h in self.handles.drain(..) {
             let _ = h.join();
         }

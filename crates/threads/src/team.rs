@@ -19,6 +19,7 @@
 //! region and region-per-op solver paths produce identical histories.
 
 use crate::barrier::SpinBarrier;
+use crate::sync_shim::ShimCell;
 use std::cell::UnsafeCell;
 
 /// f64s per padding unit: slots are rounded to 64-byte lines so two
@@ -135,6 +136,16 @@ pub struct TreeReduce {
     stride: usize,
     slots: UnsafeCell<Box<[f64]>>,
     result: UnsafeCell<Box<[f64]>>,
+    /// One zero-sized tracked tag per slot: model builds bracket each
+    /// slot access through its tag so the checker sees per-slot
+    /// happens-before (whole-array tracking would flag the *disjoint*
+    /// slot writes as races; separate boxed slots would lose the
+    /// cache-line padding). Zero bytes and fully inlined away in normal
+    /// builds.
+    slot_tags: Box<[ShimCell<()>]>,
+    /// Tracked tag bracketing the leader's `result` writes and the
+    /// fan-out reads.
+    result_tag: ShimCell<()>,
 }
 
 // SAFETY: slot `tid` is written only by thread `tid` before the fan-in
@@ -153,6 +164,8 @@ impl TreeReduce {
             stride,
             slots: UnsafeCell::new(vec![0.0; nt * stride].into_boxed_slice()),
             result: UnsafeCell::new(vec![0.0; width].into_boxed_slice()),
+            slot_tags: (0..nt).map(|_| ShimCell::new(())).collect(),
+            result_tag: ShimCell::new(()),
         }
     }
 
@@ -172,35 +185,37 @@ impl TreeReduce {
         assert_eq!(out.len(), k);
         assert!(tid < self.nt);
         // SAFETY: slot `tid` is this thread's alone until the barrier.
-        unsafe {
+        // The slot's tag cell brackets the write so model builds check
+        // the per-slot happens-before the barrier is supposed to supply.
+        self.slot_tags[tid].with_mut(|_| unsafe {
             let slots = &mut *self.slots.get();
             slots[tid * self.stride..tid * self.stride + k].copy_from_slice(partials);
-        }
+        });
         if barrier.wait() {
             // Fan-in leader: thread-order sum per component.
             // SAFETY: all slot writes are ordered before this barrier;
             // only the single leader writes `result`.
-            unsafe {
+            self.result_tag.with_mut(|_| unsafe {
                 let slots = &*self.slots.get();
                 let result = &mut *self.result.get();
                 for j in 0..k {
                     let mut acc = 0.0;
                     for t in 0..self.nt {
-                        acc += slots[t * self.stride + j];
+                        acc += self.slot_tags[t].with(|_| slots[t * self.stride + j]);
                     }
                     result[j] = acc;
                 }
-            }
+            });
         }
         barrier.wait();
         // SAFETY: the leader's `result` write is ordered before the
         // fan-out barrier; the next `combine`'s leader write is ordered
         // after every thread re-arrives at its fan-in barrier, which is
         // after this read in each thread's program order.
-        unsafe {
+        self.result_tag.with(|_| unsafe {
             let result = &*self.result.get();
             out.copy_from_slice(&result[..k]);
-        }
+        });
     }
 
     /// Scalar convenience form of [`TreeReduce::combine`].
@@ -218,7 +233,9 @@ pub struct Team {
     reduce: TreeReduce,
     scratch_stride: usize,
     scratch: UnsafeCell<Box<[f64]>>,
-    bcast: UnsafeCell<f64>,
+    /// Tracked cell: model builds race-check the root-write /
+    /// barrier / all-read broadcast protocol.
+    bcast: ShimCell<f64>,
 }
 
 // SAFETY: scratch slot `tid` is only handed to thread `tid` (member
@@ -237,7 +254,7 @@ impl Team {
             reduce: TreeReduce::new(nthreads, width),
             scratch_stride: padded(width),
             scratch: UnsafeCell::new(vec![0.0; nthreads * padded(width)].into_boxed_slice()),
-            bcast: UnsafeCell::new(0.0),
+            bcast: ShimCell::new(0.0),
         }
     }
 
@@ -318,12 +335,12 @@ impl<'a> TeamMember<'a> {
     pub fn broadcast(&self, root: usize, value: f64) -> f64 {
         if self.tid == root {
             // SAFETY: only the root writes, before the barrier.
-            unsafe { *self.team.bcast.get() = value };
+            self.team.bcast.with_mut(|p| unsafe { *p = value });
         }
         self.barrier();
         // SAFETY: write ordered before the barrier; the next write to the
         // cell is ordered after every thread passes the closing barrier.
-        let v = unsafe { *self.team.bcast.get() };
+        let v = self.team.bcast.with(|p| unsafe { *p });
         self.barrier();
         v
     }

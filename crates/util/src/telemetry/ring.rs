@@ -15,7 +15,11 @@
 //! the name is only reconstructed for indices proven stable above, so a
 //! mixed-up pointer/length pair can never escape.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+// Shim atomics: std atomics in normal builds; under `--cfg fun3d_check`
+// these are the model checker's tracked atomics, so the seqlock-style
+// publication protocol below is exercised by fun3d-check's schedule
+// exploration (see crates/util/tests/model_ring.rs).
+use fun3d_check::shim::{AtomicU64, Ordering};
 
 /// One completed span: a named interval on one thread's timeline.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]

@@ -7,6 +7,11 @@
 #    dependency would break the offline build, so it fails the guard
 #    before cargo even runs.
 # 2. Build + test with `--offline` and an empty-registry assumption.
+# 3. Model-check the sync substrate: the fun3d-check suite plus the
+#    protocol models compiled under `--cfg fun3d_check`, under a fixed
+#    schedule budget; any data race / deadlock / livelock fails. The
+#    harness itself is negative-tested: a deliberately racy canary model
+#    must make the test binary exit nonzero.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -38,6 +43,29 @@ cargo build --release --offline
 
 echo "== cargo test -q --offline =="
 cargo test -q --offline
+
+echo "== model check: fun3d-check self-tests =="
+# Fixed schedule budget so the exhaustive searches are deterministic in
+# both coverage and runtime, regardless of environment defaults.
+export FUN3D_CHECK_BUDGET=400000
+cargo test -q --offline -p fun3d-check
+
+echo "== model check: sync-substrate protocols (--cfg fun3d_check) =="
+# Separate target dir: the cfg changes the shim types workspace-wide, so
+# sharing ./target would thrash the normal build's incremental state.
+RUSTFLAGS="--cfg fun3d_check" CARGO_TARGET_DIR=target/check \
+    cargo test -q --offline -p fun3d-check -p fun3d-threads -p fun3d-util
+
+echo "== model check: negative canary (a race MUST fail the suite) =="
+# Same idiom as the dependency guard above: prove the checker actually
+# turns races into failures by running a deliberately racy model and
+# requiring a nonzero exit.
+if cargo test -q --offline -p fun3d-check --test checker -- \
+    --ignored canary_unchecked_race_fails_the_suite >/dev/null 2>&1; then
+    echo "FAIL: the racy canary model passed — the checker is not detecting races"
+    exit 1
+fi
+echo "ok: model checker catches the canary race"
 
 echo "== perf_report on the tiny mesh (telemetry artifacts) =="
 # Run the telemetry report end to end, then prove both artifacts are
