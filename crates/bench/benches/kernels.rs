@@ -185,6 +185,48 @@ fn bench_telemetry_overhead(c: &mut Bench) {
     g.finish();
 }
 
+fn bench_sampler_overhead(c: &mut Bench) {
+    // The claim behind always-on profiling: the slot publication a span
+    // performs (seqlock push/pop) costs a few uncontended atomic stores,
+    // and a running sampler adds nothing to the instrumented thread.
+    // Compare spans at Full with the sampler off and on.
+    let (geom, node, _) = fixture();
+    let n4 = node.n * 4;
+    let mut g = c.group("sampler");
+    g.sample_size(20);
+    telemetry::set_level(Level::Full);
+    g.bench_function("flux_spans_sampler_off", |b| {
+        b.iter_batched_ref(
+            || vec![0.0; n4],
+            |res| {
+                let _span = telemetry::span("flux");
+                flux::serial_aos(&geom, &node, 1.0, res)
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    let sampler = telemetry::Sampler::start(std::time::Duration::from_micros(250));
+    g.bench_function("flux_spans_sampler_on", |b| {
+        b.iter_batched_ref(
+            || vec![0.0; n4],
+            |res| {
+                let _span = telemetry::span("flux");
+                flux::serial_aos(&geom, &node, 1.0, res)
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    let profile = sampler.stop();
+    eprintln!(
+        "# sampler: {} ticks, {} missed, {} busy samples",
+        profile.ticks,
+        profile.missed,
+        profile.busy_samples()
+    );
+    telemetry::set_level(Level::Counters);
+    g.finish();
+}
+
 fn bench_partitioner(c: &mut Bench) {
     let mesh = MeshPreset::Small.build();
     let graph = mesh.vertex_graph();
@@ -205,6 +247,7 @@ fn main() {
     bench_spmv(&mut c);
     bench_vecops(&mut c);
     bench_telemetry_overhead(&mut c);
+    bench_sampler_overhead(&mut c);
     bench_partitioner(&mut c);
     c.finish();
 }

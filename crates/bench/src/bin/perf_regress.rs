@@ -1,0 +1,377 @@
+//! **perf_regress** — performance-history regression gate.
+//!
+//! The bench artifacts under `target/experiments/` are overwritten on
+//! every run; `BENCH_history.jsonl` is the append-only log that keeps
+//! the trajectory. This binary is the tool on both ends of that file:
+//!
+//! * `--append <artifact.json>` distills a bench artifact
+//!   (`sync_ablation.json` or `perf_report.json`) into a flat metric
+//!   map and appends one history line with commit/date/config
+//!   provenance (used by `scripts/bench_snapshot.sh`);
+//! * `--history <file>` judges the newest entry against the median/MAD
+//!   of the preceding window ([`fun3d_util::perfdb::judge`]) and
+//!   reports per-metric verdicts. `FUN3D_PERF_GATE` picks the
+//!   enforcement: `off` (skip), `soft` (report only, default), `hard`
+//!   (any regression exits 1);
+//! * `--self-test` checks the detector itself on a synthetic history
+//!   with an injected 3× slowdown — exit 2 if the detector misses it,
+//!   exit 1 under a hard gate once it is (correctly) flagged.
+//!
+//! Exit codes: 0 ok / soft findings, 1 hard-gate regression, 2 usage
+//! or self-test failure.
+
+use fun3d_util::perfdb::{self, Gate, GateConfig, PerfEntry, Verdict};
+use fun3d_util::report::{fmt_g, Table};
+use fun3d_util::telemetry::json::Json;
+use std::path::PathBuf;
+
+struct Args {
+    history: Option<PathBuf>,
+    append: Option<PathBuf>,
+    commit: String,
+    date: String,
+    config: Vec<(String, String)>,
+    window: usize,
+    self_test: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: perf_regress --history <BENCH_history.jsonl> [--window K]\n\
+         \x20      perf_regress --append <artifact.json> --history <file> \\\n\
+         \x20                   [--commit <hash>] [--date <iso8601>] [--config k=v]...\n\
+         \x20      perf_regress --self-test\n\
+         gate: FUN3D_PERF_GATE=off|soft|hard (default soft)"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut out = Args {
+        history: None,
+        append: None,
+        commit: "unknown".to_string(),
+        date: "unknown".to_string(),
+        config: Vec::new(),
+        window: GateConfig::default().window,
+        self_test: false,
+    };
+    let args: Vec<String> = std::env::args().collect();
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--history" => {
+                i += 1;
+                out.history = Some(PathBuf::from(args.get(i).unwrap_or_else(|| usage())));
+            }
+            "--append" => {
+                i += 1;
+                out.append = Some(PathBuf::from(args.get(i).unwrap_or_else(|| usage())));
+            }
+            "--commit" => {
+                i += 1;
+                out.commit = args.get(i).unwrap_or_else(|| usage()).clone();
+            }
+            "--date" => {
+                i += 1;
+                out.date = args.get(i).unwrap_or_else(|| usage()).clone();
+            }
+            "--config" => {
+                i += 1;
+                let kv = args.get(i).unwrap_or_else(|| usage());
+                let (k, v) = kv.split_once('=').unwrap_or_else(|| usage());
+                out.config.push((k.to_string(), v.to_string()));
+            }
+            "--window" => {
+                i += 1;
+                out.window = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--self-test" => out.self_test = true,
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Distills a bench artifact into `(config, metrics)`. Dispatches on
+/// shape: `configs` array → `sync_ablation.json`, `run` object →
+/// `perf_report.json`. All metrics are lower-is-better.
+fn distill(doc: &Json) -> Result<(Vec<(String, String)>, Vec<(String, f64)>), String> {
+    let mut config = Vec::new();
+    let mut metrics = Vec::new();
+    if let Some(cfgs) = doc.get("configs").and_then(Json::as_arr) {
+        for key in ["mesh", "reps"] {
+            if let Some(v) = doc.get(key) {
+                let s = v
+                    .as_str()
+                    .map(str::to_string)
+                    .or_else(|| v.as_f64().map(|x| format!("{x}")))
+                    .ok_or_else(|| format!("'{key}' is neither string nor number"))?;
+                config.push((key.to_string(), s));
+            }
+        }
+        for c in cfgs {
+            let threads = c
+                .get("threads")
+                .and_then(Json::as_f64)
+                .ok_or("config entry without 'threads'")? as u64;
+            let mode = c
+                .get("mode")
+                .and_then(Json::as_str)
+                .ok_or("config entry without 'mode'")?;
+            let median = c
+                .get("median_iter_seconds")
+                .and_then(Json::as_f64)
+                .ok_or("config entry without 'median_iter_seconds'")?;
+            metrics.push((format!("{mode}.s_iter@{threads}t"), median));
+            if let Some(r) = c.get("regions_per_iter").and_then(Json::as_f64) {
+                metrics.push((format!("{mode}.regions_per_iter@{threads}t"), r));
+            }
+        }
+    } else if let Some(run) = doc.get("run") {
+        for key in ["mesh", "threads"] {
+            if let Some(v) = run.get(key) {
+                let s = v
+                    .as_str()
+                    .map(str::to_string)
+                    .or_else(|| v.as_f64().map(|x| format!("{x}")))
+                    .unwrap_or_default();
+                config.push((key.to_string(), s));
+            }
+        }
+        let wall = run
+            .get("wall_seconds")
+            .and_then(Json::as_f64)
+            .ok_or("perf_report artifact without 'run.wall_seconds'")?;
+        metrics.push(("wall_seconds".to_string(), wall));
+        if let Some(kernels) = doc.get("kernels").and_then(Json::as_arr) {
+            for k in kernels {
+                let (Some(name), Some(secs)) = (
+                    k.get("name").and_then(Json::as_str),
+                    k.get("seconds").and_then(Json::as_f64),
+                ) else {
+                    continue;
+                };
+                if secs > 0.0 {
+                    metrics.push((format!("kernel.{name}.seconds"), secs));
+                }
+            }
+        }
+    } else {
+        return Err("unrecognized artifact shape (no 'configs' array, no 'run' object)".to_string());
+    }
+    if metrics.is_empty() {
+        return Err("artifact distilled to zero metrics".to_string());
+    }
+    Ok((config, metrics))
+}
+
+fn do_append(args: &Args) -> i32 {
+    let artifact = args.append.as_ref().unwrap();
+    let Some(history) = args.history.as_ref() else {
+        eprintln!("perf_regress: --append requires --history");
+        return 2;
+    };
+    let text = match std::fs::read_to_string(artifact) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("perf_regress: cannot read {}: {e}", artifact.display());
+            return 2;
+        }
+    };
+    let doc = match Json::parse(&text) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("perf_regress: {} is not valid JSON: {e}", artifact.display());
+            return 2;
+        }
+    };
+    let (mut config, metrics) = match distill(&doc) {
+        Ok(x) => x,
+        Err(e) => {
+            eprintln!("perf_regress: cannot distill {}: {e}", artifact.display());
+            return 2;
+        }
+    };
+    config.extend(args.config.iter().cloned());
+    let entry = PerfEntry {
+        commit: args.commit.clone(),
+        date: args.date.clone(),
+        config,
+        metrics,
+    };
+    match perfdb::append(history, &entry) {
+        Ok(()) => {
+            println!(
+                "appended {} metrics from {} to {}",
+                entry.metrics.len(),
+                artifact.display(),
+                history.display()
+            );
+            0
+        }
+        Err(e) => {
+            eprintln!("perf_regress: cannot append to {}: {e}", history.display());
+            2
+        }
+    }
+}
+
+fn render_verdicts(verdicts: &[Verdict], latest: &PerfEntry) -> (usize, usize) {
+    let mut table = Table::new(
+        &format!(
+            "perf_regress: '{}' ({}) vs baseline window",
+            latest.commit, latest.date
+        ),
+        &["metric", "latest", "median", "MAD", "ratio", "n", "verdict"],
+    );
+    let (mut regressions, mut improvements) = (0, 0);
+    for v in verdicts {
+        let verdict = if !v.judged {
+            "(baseline too short)".to_string()
+        } else if v.regressed {
+            regressions += 1;
+            "REGRESSED".to_string()
+        } else if v.improved {
+            improvements += 1;
+            "improved".to_string()
+        } else {
+            "ok".to_string()
+        };
+        table.row(&[
+            v.metric.clone(),
+            fmt_g(v.latest),
+            if v.judged { fmt_g(v.baseline_median) } else { "-".to_string() },
+            if v.judged { fmt_g(v.baseline_mad) } else { "-".to_string() },
+            if v.judged { format!("{:.2}", v.ratio) } else { "-".to_string() },
+            v.n_baseline.to_string(),
+            verdict,
+        ]);
+    }
+    print!("{}", table.render());
+    (regressions, improvements)
+}
+
+fn do_judge(args: &Args) -> i32 {
+    let gate = Gate::from_env();
+    if gate == Gate::Off {
+        println!("perf_regress: FUN3D_PERF_GATE=off, skipping");
+        return 0;
+    }
+    let history = args.history.as_ref().unwrap();
+    let entries = match perfdb::load(history) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("perf_regress: {e}");
+            return 2;
+        }
+    };
+    if entries.len() < 2 {
+        println!(
+            "perf_regress: {} has {} entries — nothing to judge yet",
+            history.display(),
+            entries.len()
+        );
+        return 0;
+    }
+    let cfg = GateConfig {
+        window: args.window,
+        ..GateConfig::default()
+    };
+    let verdicts = perfdb::judge(&entries, &cfg);
+    let (regressions, improvements) = render_verdicts(&verdicts, entries.last().unwrap());
+    println!(
+        "\n{} metrics, {} regressed, {} improved (gate: {:?}, window {})",
+        verdicts.len(),
+        regressions,
+        improvements,
+        gate,
+        cfg.window
+    );
+    if regressions > 0 {
+        if gate == Gate::Hard {
+            eprintln!("perf_regress: HARD GATE FAILED — {regressions} metric(s) regressed");
+            return 1;
+        }
+        println!("perf_regress: soft gate — regressions reported, not failing");
+    }
+    0
+}
+
+/// Detector self-check on synthetic data: a flat history plus one entry
+/// 3× slower. The slowdown must be flagged and the flat companion
+/// metric must not be. Exit 2 if the detector misses (broken detector),
+/// exit 1 under a hard gate once it fires (the acceptance path).
+fn do_self_test() -> i32 {
+    let gate = Gate::from_env();
+    let mut entries: Vec<PerfEntry> = (0..6)
+        .map(|i| PerfEntry {
+            commit: format!("base{i}"),
+            date: "synthetic".to_string(),
+            config: vec![("origin".to_string(), "self-test".to_string())],
+            metrics: vec![
+                // mild deterministic jitter so the MAD is nonzero
+                (
+                    "team.s_iter@2t".to_string(),
+                    1.0e-4 * (1.0 + 0.02 * (i % 3) as f64),
+                ),
+                ("team.regions_per_iter@2t".to_string(), 1.25),
+            ],
+        })
+        .collect();
+    entries.push(PerfEntry {
+        commit: "injected-slowdown".to_string(),
+        date: "synthetic".to_string(),
+        config: vec![("origin".to_string(), "self-test".to_string())],
+        metrics: vec![
+            ("team.s_iter@2t".to_string(), 3.0e-4),
+            ("team.regions_per_iter@2t".to_string(), 1.25),
+        ],
+    });
+    let verdicts = perfdb::judge(&entries, &GateConfig::default());
+    let (regressions, _) = render_verdicts(&verdicts, entries.last().unwrap());
+    let slow = verdicts
+        .iter()
+        .find(|v| v.metric == "team.s_iter@2t")
+        .expect("synthetic metric missing");
+    let flat = verdicts
+        .iter()
+        .find(|v| v.metric == "team.regions_per_iter@2t")
+        .expect("synthetic metric missing");
+    if !(slow.judged && slow.regressed) {
+        eprintln!("perf_regress: SELF-TEST FAILED — injected 3x slowdown not detected");
+        return 2;
+    }
+    if flat.regressed || flat.improved {
+        eprintln!("perf_regress: SELF-TEST FAILED — flat metric falsely flagged");
+        return 2;
+    }
+    println!(
+        "\nself-test: injected 3x slowdown detected (ratio {:.2}), flat metric clean",
+        slow.ratio
+    );
+    if gate == Gate::Hard && regressions > 0 {
+        eprintln!("perf_regress: HARD GATE FAILED — {regressions} metric(s) regressed");
+        return 1;
+    }
+    0
+}
+
+fn main() {
+    let args = parse_args();
+    let code = if args.self_test {
+        do_self_test()
+    } else if args.append.is_some() {
+        do_append(&args)
+    } else if args.history.is_some() {
+        do_judge(&args)
+    } else {
+        usage();
+    };
+    std::process::exit(code);
+}

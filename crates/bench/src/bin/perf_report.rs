@@ -24,7 +24,10 @@ use fun3d_machine::MachineSpec;
 use fun3d_mesh::generator::MeshPreset;
 use fun3d_solver::ptc::PtcConfig;
 use fun3d_util::report::{experiments_dir, fmt_g, write_json, Table};
-use fun3d_util::telemetry::{self, json::Json, trace, Level, Snapshot};
+use fun3d_util::telemetry::profile as profile_fmt;
+use fun3d_util::telemetry::roofline::{self, Deviation, Envelope};
+use fun3d_util::telemetry::sampler::{period_from_env, SampleProfile};
+use fun3d_util::telemetry::{self, json::Json, trace, Level, Sampler, Snapshot};
 
 struct Args {
     mesh: MeshPreset,
@@ -73,10 +76,36 @@ fn check_artifact(path: &str) -> ! {
         eprintln!("check failed: cannot read {path}: {e}");
         std::process::exit(1);
     });
+    if path.ends_with(".folded") {
+        // Folded flamegraph text from the sampler.
+        match profile_fmt::check_folded(&text) {
+            Ok(n) => {
+                println!("{path}: OK ({n} folded stacks)");
+                std::process::exit(0);
+            }
+            Err(e) => {
+                eprintln!("check failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
     let doc = Json::parse(&text).unwrap_or_else(|e| {
         eprintln!("check failed: {path} is not valid JSON: {e}");
         std::process::exit(1);
     });
+    if doc.get("$schema").is_some() {
+        // Speedscope profile from the sampler.
+        match profile_fmt::check_speedscope(&doc) {
+            Ok(n) => {
+                println!("{path}: OK ({n} speedscope profiles)");
+                std::process::exit(0);
+            }
+            Err(e) => {
+                eprintln!("check failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
     let mut problems = Vec::new();
     if let Some(events) = doc.get("traceEvents") {
         // Chrome trace form: every event needs a name, phase, pid, tid.
@@ -104,7 +133,7 @@ fn check_artifact(path: &str) -> ! {
         }
         std::process::exit(1);
     }
-    for key in ["machine", "run", "kernels", "threads", "convergence"] {
+    for key in ["machine", "run", "kernels", "roofline", "threads", "convergence"] {
         if doc.get(key).is_none() {
             problems.push(format!("missing key '{key}'"));
         }
@@ -116,6 +145,24 @@ fn check_artifact(path: &str) -> ! {
         for k in kernels {
             if k.get("name").and_then(Json::as_str).is_none() {
                 problems.push("kernel entry without 'name'".to_string());
+            }
+        }
+    }
+    if let Some(roof) = doc.get("roofline") {
+        match roof.get("rows").and_then(Json::as_arr) {
+            None => problems.push("'roofline.rows' is not an array".to_string()),
+            Some(rows) => {
+                if rows.is_empty() {
+                    problems.push("'roofline.rows' is empty".to_string());
+                }
+                for r in rows {
+                    if r.get("name").and_then(Json::as_str).is_none()
+                        || r.get("ratio").and_then(Json::as_f64).is_none()
+                    {
+                        problems.push("roofline row without name/ratio".to_string());
+                        break;
+                    }
+                }
             }
         }
     }
@@ -154,12 +201,20 @@ fn main() {
     );
     let nedges = app.geom.nedges();
     let nvertices = app.mesh.nvertices();
+    // At full detail every thread publishes its open-span path, so the
+    // statistical profiler can ride along for free.
+    let sampler = if telemetry::level() == Level::Full {
+        Some(Sampler::start(period_from_env()))
+    } else {
+        None
+    };
     let (_, stats) = app.run(&PtcConfig {
         dt0: 2.0,
         rtol: 1e-8,
         max_steps: 100,
         ..Default::default()
     });
+    let sample_profile: Option<SampleProfile> = sampler.map(Sampler::stop);
     assert!(stats.converged, "run failed to converge");
 
     let prof = app.profile();
@@ -212,6 +267,145 @@ fn main() {
         ]));
     }
     print!("{}", kernel_table.render());
+    println!();
+
+    // ---- (a') statistical profile: top self-time spans ----
+    let mut profile_json: Option<Json> = None;
+    if let Some(sp) = &sample_profile {
+        let times = sp.kernel_times();
+        let busy = sp.busy_samples();
+        let mut profile_table = Table::new(
+            &format!(
+                "perf_report: sampled profile ({} ticks @ {}µs, {} busy samples, {} missed)",
+                sp.ticks,
+                sp.period_ns / 1_000,
+                busy,
+                sp.missed
+            ),
+            &["span", "self s", "total s", "self samples", "% busy"],
+        );
+        let mut kernels = Vec::new();
+        for k in &times {
+            profile_table.row(&[
+                k.name.to_string(),
+                fmt_g(k.self_ns as f64 * 1e-9),
+                fmt_g(k.total_ns as f64 * 1e-9),
+                k.self_samples.to_string(),
+                format!("{:.1}%", 100.0 * k.self_samples as f64 / busy.max(1) as f64),
+            ]);
+            kernels.push(Json::obj(vec![
+                ("name", Json::str(k.name)),
+                ("self_seconds", Json::num(k.self_ns as f64 * 1e-9)),
+                ("total_seconds", Json::num(k.total_ns as f64 * 1e-9)),
+                ("self_samples", Json::num(k.self_samples as f64)),
+            ]));
+        }
+        if times.is_empty() {
+            println!("(sampler caught no busy samples — run too short for the period)\n");
+        } else {
+            print!("{}", profile_table.render());
+            println!();
+        }
+        profile_json = Some(Json::obj(vec![
+            ("period_ns", Json::num(sp.period_ns as f64)),
+            ("ticks", Json::num(sp.ticks as f64)),
+            ("missed", Json::num(sp.missed as f64)),
+            ("truncated", Json::num(sp.truncated as f64)),
+            ("busy_samples", Json::num(busy as f64)),
+            ("kernels", Json::Arr(kernels)),
+        ]));
+    }
+
+    // ---- (a'') measured-vs-model roofline validation ----
+    // Kernel seconds come from the sampled self-time when the profiler
+    // caught enough samples to trust (statistically exact attribution,
+    // no double-count of nested spans), else from the span timers.
+    const MIN_SELF_SAMPLES: u64 = 5;
+    let envelope = Envelope {
+        stream_gbs: machine.stream_gbs,
+        peak_gflops: machine.peak_gflops(),
+    };
+    let tolerance = roofline::tolerance_from_env(roofline::DEFAULT_TOLERANCE);
+    let mut roofline_input = Vec::new();
+    let source_of = |name: &str| -> (&'static str, f64) {
+        if let Some(sp) = &sample_profile {
+            if let Some(k) = sp
+                .kernel_times()
+                .into_iter()
+                .find(|k| k.name == name && k.self_samples >= MIN_SELF_SAMPLES)
+            {
+                return ("sampled", k.self_ns as f64 * 1e-9);
+            }
+        }
+        ("timer", prof.seconds(name))
+    };
+    let mut sources: Vec<(String, &'static str)> = Vec::new();
+    for (name, c) in counters.entries() {
+        let (source, secs) = source_of(name);
+        sources.push((name.to_string(), source));
+        roofline_input.push((*name, secs, *c));
+    }
+    let rows = roofline::validate(&roofline_input, &envelope, tolerance);
+    let mut roofline_table = Table::new(
+        &format!(
+            "perf_report: measured vs model (ridge {:.1} flop/B, tolerance {tolerance}x)",
+            envelope.ridge_flops_per_byte()
+        ),
+        &["kernel", "bound", "measured s", "model s", "ratio", "GB/s", "source", "flag"],
+    );
+    let mut roofline_json = Vec::new();
+    for r in &rows {
+        let source = sources
+            .iter()
+            .find(|(n, _)| *n == r.name)
+            .map_or("timer", |(_, s)| *s);
+        let flag = match r.deviation {
+            Some(Deviation::Slow) => "SLOW",
+            // Expected on cache-resident verification meshes: the
+            // compulsory-traffic model overcounts DRAM bytes.
+            Some(Deviation::Fast) => "fast (cache-resident?)",
+            None => "",
+        };
+        roofline_table.row(&[
+            r.name.clone(),
+            r.bound.label().to_string(),
+            fmt_g(r.seconds),
+            fmt_g(r.model_seconds),
+            format!("{:.2}", r.ratio),
+            fmt_g(r.achieved_gbs),
+            source.to_string(),
+            flag.to_string(),
+        ]);
+        roofline_json.push(Json::obj(vec![
+            ("name", Json::str(r.name.as_str())),
+            ("bound", Json::str(r.bound.label())),
+            ("seconds", Json::num(r.seconds)),
+            ("model_seconds", Json::num(r.model_seconds)),
+            ("ratio", Json::num(r.ratio)),
+            ("achieved_gbs", Json::num(r.achieved_gbs)),
+            ("achieved_gflops", Json::num(r.achieved_gflops)),
+            ("source", Json::str(source)),
+            (
+                "deviation",
+                match r.deviation {
+                    Some(Deviation::Slow) => Json::str("slow"),
+                    Some(Deviation::Fast) => Json::str("fast"),
+                    None => Json::Null,
+                },
+            ),
+        ]));
+    }
+    let slow_flags = rows
+        .iter()
+        .filter(|r| r.deviation == Some(Deviation::Slow))
+        .count();
+    print!("{}", roofline_table.render());
+    if slow_flags > 0 {
+        println!(
+            "WARNING: {slow_flags} kernel(s) more than {tolerance}x off the model floor — \
+             the traffic model is missing something (latency, imbalance, false sharing)"
+        );
+    }
     println!();
 
     // ---- (b) per-thread utilization / load imbalance ----
@@ -323,6 +517,20 @@ fn main() {
             ]),
         ),
         ("kernels", Json::Arr(kernels_json)),
+        (
+            "roofline",
+            Json::obj(vec![
+                ("stream_gbs", Json::num(envelope.stream_gbs)),
+                ("peak_gflops", Json::num(envelope.peak_gflops)),
+                (
+                    "ridge_flops_per_byte",
+                    Json::num(envelope.ridge_flops_per_byte()),
+                ),
+                ("tolerance", Json::num(tolerance)),
+                ("rows", Json::Arr(roofline_json)),
+            ]),
+        ),
+        ("profile", profile_json.unwrap_or(Json::Null)),
         ("threads", Json::Arr(threads_json)),
         (
             "convergence",
@@ -350,6 +558,24 @@ fn main() {
     match write_trace(&dir, &snap) {
         Ok(p) => println!("[chrome trace written to {} — open in Perfetto]", p.display()),
         Err(e) => eprintln!("warning: could not write trace: {e}"),
+    }
+    if let Some(sp) = &sample_profile {
+        let folded_path = dir.join("perf_report.folded");
+        match std::fs::write(&folded_path, profile_fmt::folded(sp)) {
+            Ok(()) => println!(
+                "[folded stacks written to {} — flamegraph.pl/inferno input]",
+                folded_path.display()
+            ),
+            Err(e) => eprintln!("warning: could not write folded stacks: {e}"),
+        }
+        let scope = profile_fmt::speedscope(
+            sp,
+            &format!("perf_report {} {}t", args.mesh.name(), args.threads),
+        );
+        match write_json(&dir, "perf_report.speedscope", &scope) {
+            Ok(p) => println!("[speedscope profile written to {} — open at speedscope.app]", p.display()),
+            Err(e) => eprintln!("warning: could not write speedscope profile: {e}"),
+        }
     }
 }
 

@@ -80,6 +80,13 @@ impl MachineSpec {
         self.cores as f64 * self.freq_ghz * self.flops_per_cycle
     }
 
+    /// Machine balance: the roofline ridge point in flop/byte. Kernels
+    /// with lower arithmetic intensity are memory-bound on this socket,
+    /// higher are compute-bound.
+    pub fn balance_flops_per_byte(&self) -> f64 {
+        self.peak_gflops() / self.stream_gbs
+    }
+
     /// Sustainable bandwidth available when `threads` cores are active
     /// (linear ramp until `bw_saturation_cores`, then flat at STREAM).
     pub fn bandwidth_at(&self, threads: usize) -> f64 {
@@ -131,6 +138,16 @@ mod tests {
         let m = MachineSpec::xeon_e5_2690v2();
         // "the 10 cores can deliver a peak performance of 240 Gflop/s"
         assert!((m.peak_gflops() - 240.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn balance_is_ridge_point() {
+        let m = MachineSpec::xeon_e5_2690v2();
+        // 240 Gflop/s over 34.8 GB/s STREAM: deeply memory-starved, as
+        // the paper argues for the unstructured kernels.
+        let b = m.balance_flops_per_byte();
+        assert!((b - 240.0 / 34.8).abs() < 1e-9);
+        assert!(b > 5.0);
     }
 
     #[test]

@@ -1,0 +1,462 @@
+//! Append-only performance history with robust change detection.
+//!
+//! `BENCH_*.json` used to hold exactly one overwritten snapshot, so the
+//! repo had no perf trajectory at all. This module gives benchmarks a
+//! durable one: each run appends a single compact-JSON line to a
+//! `.jsonl` file — commit, date, config, and a flat `metric → value`
+//! map — and [`judge`] compares the newest entry against the median/MAD
+//! of the previous `K` entries, flagging metrics that moved beyond a
+//! robust threshold. The `perf_regress` binary wraps this as a CI gate
+//! (`FUN3D_PERF_GATE=off|soft|hard`).
+//!
+//! Conventions: every metric is **lower-is-better** (seconds per
+//! iteration, regions per iteration, wall seconds). The threshold is
+//! `max(nmads · 1.4826 · MAD, rel_floor · median)` — the MAD term
+//! adapts to each metric's observed noise, the relative floor keeps a
+//! zero-MAD baseline (identical snapshots) from flagging microscopic
+//! jitter.
+
+use crate::telemetry::json::Json;
+use std::io::Write as _;
+use std::path::Path;
+
+/// One benchmark snapshot: provenance plus a flat metric map.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PerfEntry {
+    /// Commit the snapshot was taken at (short hash, or `unknown`).
+    pub commit: String,
+    /// UTC timestamp string (ISO-8601 from the snapshot script).
+    pub date: String,
+    /// Free-form configuration pairs (mesh, reps, threads, …) that make
+    /// entries comparable; judged histories should share a config.
+    pub config: Vec<(String, String)>,
+    /// Lower-is-better metric values, in insertion order.
+    pub metrics: Vec<(String, f64)>,
+}
+
+impl PerfEntry {
+    /// A metric's value, if present.
+    pub fn metric(&self, name: &str) -> Option<f64> {
+        self.metrics.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+
+    /// The JSON object form of one history line.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("commit", Json::str(self.commit.as_str())),
+            ("date", Json::str(self.date.as_str())),
+            (
+                "config",
+                Json::Obj(
+                    self.config
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Json::str(v.as_str())))
+                        .collect(),
+                ),
+            ),
+            (
+                "metrics",
+                Json::Obj(
+                    self.metrics
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Json::num(*v)))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Parses one history line's object form.
+    pub fn from_json(doc: &Json) -> Result<PerfEntry, String> {
+        let commit = doc
+            .get("commit")
+            .and_then(Json::as_str)
+            .ok_or("entry without 'commit'")?
+            .to_string();
+        let date = doc
+            .get("date")
+            .and_then(Json::as_str)
+            .ok_or("entry without 'date'")?
+            .to_string();
+        let config = match doc.get("config") {
+            Some(Json::Obj(pairs)) => pairs
+                .iter()
+                .map(|(k, v)| {
+                    v.as_str()
+                        .map(|s| (k.clone(), s.to_string()))
+                        .ok_or_else(|| format!("config '{k}' is not a string"))
+                })
+                .collect::<Result<Vec<_>, _>>()?,
+            None => Vec::new(),
+            _ => return Err("'config' is not an object".to_string()),
+        };
+        let metrics = match doc.get("metrics") {
+            Some(Json::Obj(pairs)) => pairs
+                .iter()
+                .map(|(k, v)| {
+                    v.as_f64()
+                        .filter(|x| x.is_finite())
+                        .map(|x| (k.clone(), x))
+                        .ok_or_else(|| format!("metric '{k}' is not a finite number"))
+                })
+                .collect::<Result<Vec<_>, _>>()?,
+            _ => return Err("entry without 'metrics' object".to_string()),
+        };
+        if metrics.is_empty() {
+            return Err("entry with empty 'metrics'".to_string());
+        }
+        Ok(PerfEntry {
+            commit,
+            date,
+            config,
+            metrics,
+        })
+    }
+}
+
+/// Appends one entry as a compact JSON line (creates the file and its
+/// parent directory as needed).
+pub fn append(path: &Path, entry: &PerfEntry) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)?;
+    writeln!(f, "{}", entry.to_json().render())
+}
+
+/// Loads a history file, oldest entry first. Blank lines are skipped;
+/// a malformed line is an error naming its line number (an append-only
+/// log that rots silently is worse than none).
+pub fn load(path: &Path) -> Result<Vec<PerfEntry>, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let mut out = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let doc = Json::parse(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+        out.push(PerfEntry::from_json(&doc).map_err(|e| format!("line {}: {e}", i + 1))?);
+    }
+    Ok(out)
+}
+
+/// Detection parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct GateConfig {
+    /// Baseline window: the newest entry is judged against up to this
+    /// many immediately preceding entries.
+    pub window: usize,
+    /// MAD multiplier (scaled by 1.4826 to estimate σ under normality).
+    pub nmads: f64,
+    /// Relative floor: deviations below `rel_floor · |median|` are
+    /// never flagged, whatever the MAD says.
+    pub rel_floor: f64,
+    /// Minimum baseline entries carrying the metric; below this the
+    /// metric is reported as unjudged.
+    pub min_baseline: usize,
+}
+
+impl Default for GateConfig {
+    fn default() -> GateConfig {
+        GateConfig {
+            window: 8,
+            nmads: 5.0,
+            rel_floor: 0.25,
+            min_baseline: 3,
+        }
+    }
+}
+
+/// One metric's judgement.
+#[derive(Clone, Debug)]
+pub struct Verdict {
+    /// Metric name.
+    pub metric: String,
+    /// Newest entry's value.
+    pub latest: f64,
+    /// Median of the baseline window.
+    pub baseline_median: f64,
+    /// Raw MAD of the baseline window.
+    pub baseline_mad: f64,
+    /// `latest / baseline_median` (∞-safe: 0 when the median is 0).
+    pub ratio: f64,
+    /// Absolute deviation threshold that was applied.
+    pub threshold: f64,
+    /// Baseline entries that carried the metric.
+    pub n_baseline: usize,
+    /// Baseline was deep enough to judge at all.
+    pub judged: bool,
+    /// Lower-is-better metric moved up beyond the threshold.
+    pub regressed: bool,
+    /// Moved down beyond the threshold (informational).
+    pub improved: bool,
+}
+
+fn median_of(xs: &mut [f64]) -> f64 {
+    xs.sort_by(|a, b| a.total_cmp(b));
+    let n = xs.len();
+    if n % 2 == 1 {
+        xs[n / 2]
+    } else {
+        0.5 * (xs[n / 2 - 1] + xs[n / 2])
+    }
+}
+
+/// Judges the newest entry against the preceding window. Returns one
+/// verdict per metric of the newest entry, in its metric order.
+/// Histories with fewer than two entries yield an empty list.
+pub fn judge(entries: &[PerfEntry], cfg: &GateConfig) -> Vec<Verdict> {
+    let Some((latest, past)) = entries.split_last() else {
+        return Vec::new();
+    };
+    if past.is_empty() {
+        return Vec::new();
+    }
+    let window_start = past.len().saturating_sub(cfg.window);
+    let window = &past[window_start..];
+    latest
+        .metrics
+        .iter()
+        .map(|(name, value)| {
+            let mut base: Vec<f64> = window.iter().filter_map(|e| e.metric(name)).collect();
+            let n_baseline = base.len();
+            if n_baseline < cfg.min_baseline.max(1) {
+                return Verdict {
+                    metric: name.clone(),
+                    latest: *value,
+                    baseline_median: f64::NAN,
+                    baseline_mad: f64::NAN,
+                    ratio: f64::NAN,
+                    threshold: f64::NAN,
+                    n_baseline,
+                    judged: false,
+                    regressed: false,
+                    improved: false,
+                };
+            }
+            let median = median_of(&mut base);
+            let mut devs: Vec<f64> = base.iter().map(|x| (x - median).abs()).collect();
+            let mad = median_of(&mut devs);
+            let threshold = (cfg.nmads * 1.4826 * mad).max(cfg.rel_floor * median.abs());
+            let delta = value - median;
+            Verdict {
+                metric: name.clone(),
+                latest: *value,
+                baseline_median: median,
+                baseline_mad: mad,
+                ratio: if median != 0.0 { value / median } else { 0.0 },
+                threshold,
+                n_baseline,
+                judged: true,
+                regressed: delta > threshold,
+                improved: -delta > threshold,
+            }
+        })
+        .collect()
+}
+
+/// The gate's enforcement mode, from `FUN3D_PERF_GATE`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Gate {
+    /// Skip judging entirely.
+    Off,
+    /// Judge and report; regressions never fail the process (default).
+    Soft,
+    /// Judge and report; any regression is a nonzero exit.
+    Hard,
+}
+
+impl Gate {
+    /// Parses a `FUN3D_PERF_GATE` value (unknown strings → `Soft`).
+    pub fn parse(s: &str) -> Gate {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "off" | "0" | "none" => Gate::Off,
+            "hard" | "fail" | "2" => Gate::Hard,
+            _ => Gate::Soft,
+        }
+    }
+
+    /// The active mode (default [`Gate::Soft`]).
+    pub fn from_env() -> Gate {
+        std::env::var("FUN3D_PERF_GATE")
+            .map(|v| Gate::parse(&v))
+            .unwrap_or(Gate::Soft)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(commit: &str, metrics: &[(&str, f64)]) -> PerfEntry {
+        PerfEntry {
+            commit: commit.to_string(),
+            date: "2026-08-06T00:00:00Z".to_string(),
+            config: vec![("mesh".to_string(), "tiny".to_string())],
+            metrics: metrics
+                .iter()
+                .map(|(n, v)| (n.to_string(), *v))
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn entry_roundtrips_through_json_line() {
+        let e = entry("abc1234", &[("team.s_iter@2t", 1.25e-4), ("wall", 0.75)]);
+        let line = e.to_json().render();
+        assert!(!line.contains('\n'), "history lines must be single-line");
+        let back = PerfEntry::from_json(&Json::parse(&line).unwrap()).unwrap();
+        assert_eq!(back, e);
+    }
+
+    #[test]
+    fn from_json_rejects_malformed_entries() {
+        for bad in [
+            r#"{}"#,
+            r#"{"commit":"a","date":"d"}"#,
+            r#"{"commit":"a","date":"d","metrics":{}}"#,
+            r#"{"commit":"a","date":"d","metrics":{"m":"not-a-number"}}"#,
+            r#"{"commit":"a","date":"d","config":[1],"metrics":{"m":1}}"#,
+        ] {
+            let doc = Json::parse(bad).unwrap();
+            assert!(PerfEntry::from_json(&doc).is_err(), "accepted: {bad}");
+        }
+    }
+
+    #[test]
+    fn append_and_load_roundtrip() {
+        let dir = std::env::temp_dir().join("fun3d_perfdb_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("hist.jsonl");
+        for i in 0..4 {
+            append(&path, &entry(&format!("c{i}"), &[("m", 1.0 + i as f64)])).unwrap();
+        }
+        let hist = load(&path).unwrap();
+        assert_eq!(hist.len(), 4);
+        assert_eq!(hist[0].commit, "c0");
+        assert_eq!(hist[3].metric("m"), Some(4.0));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn load_names_the_bad_line() {
+        let dir = std::env::temp_dir().join("fun3d_perfdb_badline");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("hist.jsonl");
+        std::fs::write(&path, "{\"commit\":\"a\",\"date\":\"d\",\"metrics\":{\"m\":1}}\nnot json\n")
+            .unwrap();
+        let err = load(&path).unwrap_err();
+        assert!(err.contains("line 2"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn injected_3x_slowdown_is_detected() {
+        // The acceptance-criterion scenario: a flat-ish history, then a
+        // synthetic entry 3× slower. Must regress, and only that metric.
+        let mut hist: Vec<PerfEntry> = (0..6)
+            .map(|i| {
+                entry(
+                    &format!("c{i}"),
+                    &[
+                        ("team.s_iter@2t", 1.0e-4 * (1.0 + 0.02 * (i % 3) as f64)),
+                        ("team.regions_per_iter@2t", 1.25),
+                    ],
+                )
+            })
+            .collect();
+        hist.push(entry(
+            "bad",
+            &[("team.s_iter@2t", 3.0e-4), ("team.regions_per_iter@2t", 1.25)],
+        ));
+        let verdicts = judge(&hist, &GateConfig::default());
+        let slow = verdicts.iter().find(|v| v.metric == "team.s_iter@2t").unwrap();
+        assert!(slow.judged && slow.regressed, "{slow:?}");
+        assert!(slow.ratio > 2.5);
+        let flat = verdicts
+            .iter()
+            .find(|v| v.metric == "team.regions_per_iter@2t")
+            .unwrap();
+        assert!(flat.judged && !flat.regressed && !flat.improved);
+    }
+
+    #[test]
+    fn noisy_flat_history_does_not_false_positive() {
+        // ±10% jitter around a constant: inside the default 25% floor.
+        let vals = [1.0, 1.1, 0.9, 1.05, 0.95, 1.08, 0.92, 1.02];
+        let hist: Vec<PerfEntry> = vals
+            .iter()
+            .enumerate()
+            .map(|(i, v)| entry(&format!("c{i}"), &[("m", *v)]))
+            .collect();
+        let verdicts = judge(&hist, &GateConfig::default());
+        assert!(!verdicts[0].regressed && !verdicts[0].improved, "{:?}", verdicts[0]);
+    }
+
+    #[test]
+    fn improvement_is_reported_not_regressed() {
+        let mut hist: Vec<PerfEntry> = (0..5)
+            .map(|i| entry(&format!("c{i}"), &[("m", 1.0)]))
+            .collect();
+        hist.push(entry("fast", &[("m", 0.4)]));
+        let v = &judge(&hist, &GateConfig::default())[0];
+        assert!(v.improved && !v.regressed);
+    }
+
+    #[test]
+    fn short_history_is_unjudged_not_flagged() {
+        let hist = vec![entry("a", &[("m", 1.0)]), entry("b", &[("m", 99.0)])];
+        let v = &judge(&hist, &GateConfig::default())[0];
+        assert!(!v.judged && !v.regressed);
+        assert_eq!(v.n_baseline, 1);
+        assert!(judge(&hist[..1], &GateConfig::default()).is_empty());
+        assert!(judge(&[], &GateConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn window_limits_the_baseline() {
+        // Old slow era outside the window must not mask a regression
+        // against the recent fast era.
+        let mut hist: Vec<PerfEntry> = (0..10)
+            .map(|i| entry(&format!("old{i}"), &[("m", 10.0)]))
+            .collect();
+        hist.extend((0..8).map(|i| entry(&format!("new{i}"), &[("m", 1.0)])));
+        hist.push(entry("bad", &[("m", 3.0)]));
+        let cfg = GateConfig {
+            window: 8,
+            ..GateConfig::default()
+        };
+        let v = &judge(&hist, &cfg)[0];
+        assert!((v.baseline_median - 1.0).abs() < 1e-12);
+        assert!(v.regressed);
+    }
+
+    #[test]
+    fn metric_missing_from_baseline_is_unjudged() {
+        let mut hist: Vec<PerfEntry> = (0..5)
+            .map(|i| entry(&format!("c{i}"), &[("m", 1.0)]))
+            .collect();
+        hist.push(entry("new", &[("m", 1.0), ("brand_new_metric", 7.0)]));
+        let verdicts = judge(&hist, &GateConfig::default());
+        let v = verdicts
+            .iter()
+            .find(|v| v.metric == "brand_new_metric")
+            .unwrap();
+        assert!(!v.judged && v.n_baseline == 0);
+    }
+
+    #[test]
+    fn gate_parse() {
+        assert_eq!(Gate::parse("off"), Gate::Off);
+        assert_eq!(Gate::parse("HARD"), Gate::Hard);
+        assert_eq!(Gate::parse("soft"), Gate::Soft);
+        assert_eq!(Gate::parse("bogus"), Gate::Soft);
+    }
+}

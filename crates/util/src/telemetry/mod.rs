@@ -38,11 +38,15 @@
 
 pub mod counters;
 pub mod json;
+pub mod profile;
 pub mod ring;
+pub mod roofline;
+pub mod sampler;
 pub mod trace;
 
 pub use counters::{CounterMap, KernelCounts};
 pub use ring::SpanEvent;
+pub use sampler::{SampleProfile, Sampler};
 
 use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
@@ -161,6 +165,8 @@ fn ring_capacity() -> usize {
 struct ThreadCell {
     label: Mutex<String>,
     ring: OnceLock<ring::SpanRing>,
+    /// Continuously-published open-span path, read by the sampler.
+    slot: sampler::SpanSlot,
     counters: Mutex<CounterMap>,
     series: Mutex<Vec<SeriesPoint>>,
 }
@@ -170,6 +176,7 @@ impl ThreadCell {
         ThreadCell {
             label: Mutex::new(label),
             ring: OnceLock::new(),
+            slot: sampler::SpanSlot::new(),
             counters: Mutex::new(CounterMap::new()),
             series: Mutex::new(Vec::new()),
         }
@@ -212,11 +219,19 @@ pub fn set_thread_label(label: impl Into<String>) {
 
 /// An in-flight span; records into the current thread's ring on drop.
 /// Inactive (and free) below the gating level.
+///
+/// While open, an active span is also published in the thread's
+/// [`sampler::SpanSlot`] so the sampling profiler can attribute the
+/// thread's time to it. The slot is single-writer, which is why `Span`
+/// is `!Send`: opening and closing must happen on the same thread.
 #[must_use = "a span measures the scope it is bound to; bind it to a named guard"]
 pub struct Span {
     name: &'static str,
     start_ns: u64,
     active: bool,
+    /// `!Send`: the drop must run on the opening thread (slot pop and
+    /// ring push are both single-writer).
+    _pinned: std::marker::PhantomData<*const ()>,
 }
 
 impl Span {
@@ -224,6 +239,7 @@ impl Span {
         name: "",
         start_ns: 0,
         active: false,
+        _pinned: std::marker::PhantomData,
     };
 }
 
@@ -234,6 +250,7 @@ impl Drop for Span {
         }
         let dur_ns = now_ns().saturating_sub(self.start_ns);
         with_cell(|c| {
+            c.slot.pop();
             c.ring
                 .get_or_init(|| ring::SpanRing::new(ring_capacity()))
                 .push(SpanEvent {
@@ -245,17 +262,23 @@ impl Drop for Span {
     }
 }
 
+fn open_span(name: &'static str) -> Span {
+    with_cell(|c| c.slot.push(name));
+    Span {
+        name,
+        start_ns: now_ns(),
+        active: true,
+        _pinned: std::marker::PhantomData,
+    }
+}
+
 /// Opens a kernel-level span (recorded at [`Level::Spans`] and up).
 #[inline]
 pub fn span(name: &'static str) -> Span {
     if level() < Level::Spans {
         return Span::INACTIVE;
     }
-    Span {
-        name,
-        start_ns: now_ns(),
-        active: true,
-    }
+    open_span(name)
 }
 
 /// Opens a high-frequency span (per-chunk, per-level) recorded only at
@@ -265,11 +288,7 @@ pub fn fine_span(name: &'static str) -> Span {
     if level() < Level::Full {
         return Span::INACTIVE;
     }
-    Span {
-        name,
-        start_ns: now_ns(),
-        active: true,
-    }
+    open_span(name)
 }
 
 /// Accumulates performance-model counters for a kernel on the current

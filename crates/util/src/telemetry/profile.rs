@@ -1,0 +1,315 @@
+//! Profile exporters: folded flamegraph text and speedscope JSON.
+//!
+//! The sampler ([`super::sampler`]) produces weighted collapsed stacks;
+//! this module renders them in the two interchange formats the
+//! flamegraph ecosystem actually consumes:
+//!
+//! * **folded** — one line per distinct stack, `frame;frame;… count`,
+//!   the input format of Brendan Gregg's `flamegraph.pl` and of
+//!   `inferno-flamegraph`. The thread label is the root frame, so one
+//!   file holds every thread's flame side by side.
+//! * **speedscope** — the JSON file format of <https://www.speedscope.app>
+//!   (`"type": "sampled"` profiles, one per thread, weights in
+//!   nanoseconds), viewable offline in any speedscope build.
+//!
+//! Both renderers have strict validating counterparts
+//! ([`check_folded`], [`check_speedscope`]) used by
+//! `perf_report --check` / `scripts/verify.sh` to keep the artifacts
+//! machine-readable as the schema evolves.
+
+use super::json::Json;
+use super::sampler::SampleProfile;
+use std::fmt::Write as _;
+
+/// Renders the folded-flamegraph text form: `thread;frame;… samples`,
+/// sorted (stable across runs with identical stacks). Idle samples are
+/// kept — `thread;(idle) N` — so per-thread sample totals equal the
+/// tick count and utilization can be read off the flame widths.
+pub fn folded(p: &SampleProfile) -> String {
+    let mut out = String::new();
+    for s in &p.stacks {
+        let _ = write!(out, "{}", s.thread.replace(';', ","));
+        for f in &s.frames {
+            let _ = write!(out, ";{}", f.replace(';', ","));
+        }
+        let _ = writeln!(out, " {}", s.samples);
+    }
+    out
+}
+
+/// Validates folded text: every non-empty line must be
+/// `stack<space>count` with a non-empty stack and a `u64` count.
+/// Returns the number of stack lines.
+pub fn check_folded(text: &str) -> Result<usize, String> {
+    let mut lines = 0usize;
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (stack, count) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| format!("line {}: no space-separated count", i + 1))?;
+        if stack.trim().is_empty() {
+            return Err(format!("line {}: empty stack", i + 1));
+        }
+        count
+            .trim()
+            .parse::<u64>()
+            .map_err(|_| format!("line {}: count '{count}' is not a u64", i + 1))?;
+        lines += 1;
+    }
+    if lines == 0 {
+        return Err("no stack lines (empty profile)".to_string());
+    }
+    Ok(lines)
+}
+
+/// Renders a speedscope-format document: one `"sampled"` profile per
+/// thread over a shared frame table, weights in nanoseconds.
+pub fn speedscope(p: &SampleProfile, name: &str) -> Json {
+    // Shared frame table; indices are first-seen order.
+    fn frame_index<'a>(frames: &mut Vec<&'a str>, name: &'a str) -> usize {
+        match frames.iter().position(|f| *f == name) {
+            Some(i) => i,
+            None => {
+                frames.push(name);
+                frames.len() - 1
+            }
+        }
+    }
+    let mut frame_names: Vec<&str> = Vec::new();
+
+    // Group stacks by thread label, preserving the profile's sort.
+    let mut profiles: Vec<(String, Vec<Json>, Vec<Json>, u64)> = Vec::new();
+    for s in &p.stacks {
+        if profiles.last().map(|(t, ..)| t.as_str()) != Some(s.thread.as_str()) {
+            profiles.push((s.thread.clone(), Vec::new(), Vec::new(), 0));
+        }
+        let (_, samples, weights, end) = profiles.last_mut().unwrap();
+        let idxs: Vec<Json> = s
+            .frames
+            .iter()
+            .map(|f| Json::num(frame_index(&mut frame_names, f) as f64))
+            .collect();
+        let w = s.samples * p.period_ns;
+        samples.push(Json::Arr(idxs));
+        weights.push(Json::num(w as f64));
+        *end += w;
+    }
+
+    let profiles_json: Vec<Json> = profiles
+        .into_iter()
+        .map(|(thread, samples, weights, end)| {
+            Json::obj(vec![
+                ("type", Json::str("sampled")),
+                ("name", Json::str(thread)),
+                ("unit", Json::str("nanoseconds")),
+                ("startValue", Json::num(0.0)),
+                ("endValue", Json::num(end as f64)),
+                ("samples", Json::Arr(samples)),
+                ("weights", Json::Arr(weights)),
+            ])
+        })
+        .collect();
+    Json::obj(vec![
+        (
+            "$schema",
+            Json::str("https://www.speedscope.app/file-format-schema.json"),
+        ),
+        ("name", Json::str(name)),
+        ("exporter", Json::str("fun3d-rs sampler")),
+        (
+            "shared",
+            Json::obj(vec![(
+                "frames",
+                Json::Arr(
+                    frame_names
+                        .iter()
+                        .map(|f| Json::obj(vec![("name", Json::str(*f))]))
+                        .collect(),
+                ),
+            )]),
+        ),
+        ("profiles", Json::Arr(profiles_json)),
+    ])
+}
+
+/// Validates a parsed speedscope document: schema URL, a shared frame
+/// table, and per-profile samples/weights arrays of equal length whose
+/// frame indices stay inside the table. Returns the profile count.
+pub fn check_speedscope(doc: &Json) -> Result<usize, String> {
+    doc.get("$schema")
+        .and_then(Json::as_str)
+        .filter(|s| s.contains("speedscope"))
+        .ok_or("missing speedscope $schema")?;
+    let nframes = doc
+        .get("shared")
+        .and_then(|s| s.get("frames"))
+        .and_then(Json::as_arr)
+        .ok_or("missing shared.frames")?
+        .iter()
+        .map(|f| {
+            f.get("name")
+                .and_then(Json::as_str)
+                .map(|_| ())
+                .ok_or("frame without name")
+        })
+        .collect::<Result<Vec<()>, _>>()?
+        .len();
+    let profiles = doc
+        .get("profiles")
+        .and_then(Json::as_arr)
+        .ok_or("missing profiles array")?;
+    if profiles.is_empty() {
+        return Err("empty profiles array".to_string());
+    }
+    for p in profiles {
+        if p.get("type").and_then(Json::as_str) != Some("sampled") {
+            return Err("profile is not of type 'sampled'".to_string());
+        }
+        p.get("name").and_then(Json::as_str).ok_or("profile without name")?;
+        let samples = p
+            .get("samples")
+            .and_then(Json::as_arr)
+            .ok_or("profile without samples")?;
+        let weights = p
+            .get("weights")
+            .and_then(Json::as_arr)
+            .ok_or("profile without weights")?;
+        if samples.len() != weights.len() {
+            return Err(format!(
+                "samples/weights length mismatch: {} vs {}",
+                samples.len(),
+                weights.len()
+            ));
+        }
+        for s in samples {
+            for idx in s.as_arr().ok_or("sample is not an array")? {
+                let i = idx.as_f64().ok_or("frame index is not a number")?;
+                if i < 0.0 || i as usize >= nframes {
+                    return Err(format!("frame index {i} out of range ({nframes} frames)"));
+                }
+            }
+        }
+    }
+    Ok(profiles.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::sampler::{StackCount, IDLE_FRAME};
+    use super::*;
+
+    fn sample_profile() -> SampleProfile {
+        SampleProfile {
+            period_ns: 250_000,
+            ticks: 10,
+            missed: 0,
+            truncated: 0,
+            stacks: vec![
+                StackCount {
+                    thread: "fun3d-worker-0".into(),
+                    frames: vec!["pool.region", "trsv"],
+                    samples: 7,
+                },
+                StackCount {
+                    thread: "fun3d-worker-0".into(),
+                    frames: vec![IDLE_FRAME],
+                    samples: 3,
+                },
+                StackCount {
+                    thread: "main".into(),
+                    frames: vec!["ptc.step"],
+                    samples: 10,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn folded_roundtrips_through_its_checker() {
+        let text = folded(&sample_profile());
+        assert!(text.contains("fun3d-worker-0;pool.region;trsv 7"));
+        assert!(text.contains("fun3d-worker-0;(idle) 3"));
+        let lines = check_folded(&text).unwrap();
+        assert_eq!(lines, 3);
+    }
+
+    #[test]
+    fn folded_escapes_separator_in_labels() {
+        let p = SampleProfile {
+            period_ns: 1,
+            ticks: 1,
+            missed: 0,
+            truncated: 0,
+            stacks: vec![StackCount {
+                thread: "a;b".into(),
+                frames: vec!["k"],
+                samples: 1,
+            }],
+        };
+        let text = folded(&p);
+        assert!(text.starts_with("a,b;k 1"));
+        check_folded(&text).unwrap();
+    }
+
+    #[test]
+    fn checker_rejects_malformed_folded() {
+        assert!(check_folded("").is_err());
+        assert!(check_folded("no-count-here").is_err());
+        assert!(check_folded("stack notanumber").is_err());
+        assert!(check_folded(" 12").is_err());
+        assert_eq!(check_folded("a;b 3\n\nc 1\n").unwrap(), 2);
+    }
+
+    #[test]
+    fn speedscope_roundtrips_through_its_checker() {
+        let doc = speedscope(&sample_profile(), "unit-test");
+        let text = doc.render_pretty();
+        let back = Json::parse(&text).unwrap();
+        let nprofiles = check_speedscope(&back).unwrap();
+        assert_eq!(nprofiles, 2, "one profile per thread label");
+        // weights are samples × period
+        let p0 = &back.get("profiles").unwrap().as_arr().unwrap()[0];
+        let w = p0.get("weights").unwrap().as_arr().unwrap();
+        assert_eq!(w[0].as_f64(), Some(7.0 * 250_000.0));
+        assert_eq!(
+            p0.get("endValue").and_then(Json::as_f64),
+            Some(10.0 * 250_000.0)
+        );
+    }
+
+    #[test]
+    fn checker_rejects_malformed_speedscope() {
+        let ok = speedscope(&sample_profile(), "t");
+        assert!(check_speedscope(&ok).is_ok());
+        assert!(check_speedscope(&Json::obj(vec![])).is_err());
+        // out-of-range frame index
+        let bad = Json::obj(vec![
+            (
+                "$schema",
+                Json::str("https://www.speedscope.app/file-format-schema.json"),
+            ),
+            (
+                "shared",
+                Json::obj(vec![(
+                    "frames",
+                    Json::Arr(vec![Json::obj(vec![("name", Json::str("f"))])]),
+                )]),
+            ),
+            (
+                "profiles",
+                Json::Arr(vec![Json::obj(vec![
+                    ("type", Json::str("sampled")),
+                    ("name", Json::str("t")),
+                    ("unit", Json::str("nanoseconds")),
+                    ("startValue", Json::num(0.0)),
+                    ("endValue", Json::num(1.0)),
+                    ("samples", Json::Arr(vec![Json::Arr(vec![Json::num(5.0)])])),
+                    ("weights", Json::Arr(vec![Json::num(1.0)])),
+                ])]),
+            ),
+        ]);
+        assert!(check_speedscope(&bad).is_err());
+    }
+}

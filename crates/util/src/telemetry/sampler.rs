@@ -1,0 +1,571 @@
+//! Statistical sampling profiler over the span instrumentation.
+//!
+//! The span rings ([`super::ring`]) record *every* completed interval —
+//! exact but bounded by ring capacity and useless for attributing time
+//! to spans that are still open. This module adds the complementary
+//! statistical view the paper's Fig. 5 profile is really about: each
+//! instrumented thread continuously **publishes its current open-span
+//! path** (the stack of span names it is inside) in a per-thread
+//! [`SpanSlot`], and a background sampler thread snapshots every slot at
+//! a fixed period, accumulating weighted collapsed stacks. The result
+//! exports as folded-flamegraph text and speedscope JSON
+//! ([`super::profile`]) and yields per-kernel self/total time for the
+//! measured-vs-model roofline check ([`super::roofline`]).
+//!
+//! ## The slot protocol
+//!
+//! [`SpanSlot`] is a seqlock specialized to the ring's publication
+//! discipline: the owning thread is the only writer, so a push/pop is a
+//! handful of plain atomic stores bracketed by a sequence counter; the
+//! sampler validates its snapshot by re-reading the sequence and
+//! retries (boundedly) on a torn read. As in the span ring, names are
+//! stored as raw `&'static str` parts in atomics and only reconstructed
+//! from snapshots the validation proved consistent. The protocol is
+//! written against the `fun3d_check` shim atomics and model-checked
+//! under `--cfg fun3d_check` (see `crates/util/tests/model_sampler_slot.rs`).
+
+// Shim atomics: std atomics in normal builds; the model checker's
+// tracked types under `--cfg fun3d_check`, which is what lets the
+// exhaustive schedule search drive this exact seqlock.
+use fun3d_check::shim::{spin_hint, AtomicU64, Ordering};
+
+use std::collections::HashMap;
+use std::sync::atomic::AtomicBool as StdAtomicBool;
+use std::sync::atomic::Ordering as StdOrdering;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Deepest span nesting the slot publishes; deeper frames are counted
+/// (so pops stay balanced) but not sampled, and the profile reports how
+/// many samples were truncated.
+pub const MAX_SAMPLED_DEPTH: usize = 16;
+
+/// Snapshot attempts before the sampler gives up on a slot for this
+/// tick (the writer was mid-update every time). Misses are counted, not
+/// silently dropped.
+const MAX_READ_ATTEMPTS: usize = 64;
+
+/// Frame name used for a thread observed with no open span.
+pub const IDLE_FRAME: &str = "(idle)";
+
+/// One thread's continuously-published open-span path: a fixed-depth
+/// stack of `&'static str` parts guarded by a sequence counter.
+///
+/// Single-writer seqlock: [`SpanSlot::push`] / [`SpanSlot::pop`] may
+/// only be called by the owning thread; [`SpanSlot::try_read`] may be
+/// called from any thread at any time.
+pub struct SpanSlot {
+    /// Sequence counter: odd while the writer is inside an update. The
+    /// writer is the only mutator, so it loads this with `Relaxed` and
+    /// bumps it around every update.
+    seq: AtomicU64,
+    /// Current open-span depth (may exceed [`MAX_SAMPLED_DEPTH`]).
+    depth: AtomicU64,
+    /// `[name_ptr, name_len]` per sampled frame.
+    frames: [[AtomicU64; 2]; MAX_SAMPLED_DEPTH],
+}
+
+impl Default for SpanSlot {
+    fn default() -> SpanSlot {
+        SpanSlot::new()
+    }
+}
+
+impl SpanSlot {
+    /// An empty slot (no open spans).
+    pub fn new() -> SpanSlot {
+        SpanSlot {
+            seq: AtomicU64::new(0),
+            depth: AtomicU64::new(0),
+            frames: std::array::from_fn(|_| [AtomicU64::new(0), AtomicU64::new(0)]),
+        }
+    }
+
+    /// Current published depth (test/diagnostic aid; racy by nature).
+    pub fn depth(&self) -> u64 {
+        // Acquire: pairs with the writer's Release stores so a quiescent
+        // reader sees the latest completed update.
+        self.depth.load(Ordering::Acquire)
+    }
+
+    /// Owner thread: publishes one more open frame.
+    pub fn push(&self, name: &'static str) {
+        // Relaxed: this thread is the only writer of `seq`.
+        let s = self.seq.load(Ordering::Relaxed);
+        // Release (begin, seq becomes odd): readers that observe this
+        // value retry, and readers that validate across it fail. (The
+        // publication edge itself is the *end* store below — this one
+        // marks the update in progress.)
+        self.seq.store(s + 1, Ordering::Release);
+        // Relaxed: single-writer, `depth` was last written by us.
+        let d = self.depth.load(Ordering::Relaxed);
+        if (d as usize) < MAX_SAMPLED_DEPTH {
+            let f = &self.frames[d as usize];
+            // Relaxed payload: unpublished until the end-of-update seq
+            // store below — the same discipline as `SpanRing::push`,
+            // where the slot words are Relaxed and the head store
+            // carries the publication edge.
+            f[0].store(name.as_ptr() as u64, Ordering::Relaxed);
+            f[1].store(name.len() as u64, Ordering::Relaxed);
+        }
+        // Relaxed: `depth` is payload, published by the seq store below.
+        self.depth.store(d + 1, Ordering::Relaxed);
+        // Release (end, seq even again): THE publication edge. Pairs
+        // with the reader's Acquire load of `seq`: a reader whose first
+        // read observes this value synchronizes with every payload
+        // store above, so its validated snapshot is a matched
+        // (ptr, len) pair. Downgrading this store to Relaxed is the
+        // mutant `model_sampler_slot.rs` proves the checker catches.
+        self.seq.store(s + 2, Ordering::Release);
+    }
+
+    /// Owner thread: retires the innermost open frame.
+    pub fn pop(&self) {
+        // Relaxed: single-writer (see `push`).
+        let s = self.seq.load(Ordering::Relaxed);
+        // Release (begin): see `push`.
+        self.seq.store(s + 1, Ordering::Release);
+        // Relaxed: single-writer read of our own last store.
+        let d = self.depth.load(Ordering::Relaxed);
+        // Relaxed: `depth` is payload (see `push`). The frame words can
+        // stay stale — readers never look past `depth`.
+        self.depth.store(d.saturating_sub(1), Ordering::Relaxed);
+        // Release (end): see `push`.
+        self.seq.store(s + 2, Ordering::Release);
+    }
+
+    /// Any thread: snapshots the open-span path into `out` (cleared
+    /// first). Returns `None` when every attempt raced the writer —
+    /// the caller should count a missed sample, never spin forever.
+    ///
+    /// On success, `out` holds the path outermost-first, truncated to
+    /// [`MAX_SAMPLED_DEPTH`]; the second return reports the *published*
+    /// depth so callers can count truncation.
+    pub fn try_read(&self, out: &mut Vec<&'static str>) -> Option<u64> {
+        out.clear();
+        for _ in 0..MAX_READ_ATTEMPTS {
+            // Acquire: pairs with the writer's end-of-update Release.
+            // Observing an even seq value synchronizes with the update
+            // that stored it, so every payload word of that update (and
+            // all older ones) is visible to the Relaxed loads below —
+            // the same edge `SpanRing::collect` takes through `head`.
+            let s1 = self.seq.load(Ordering::Acquire);
+            if s1 % 2 == 1 {
+                spin_hint();
+                continue;
+            }
+            // Relaxed payload: consistent as of the s1 synchronization;
+            // anything newer the loads might catch comes from an update
+            // whose bracketing seq stores make the validation below
+            // fail (seq is monotonic, so any interleaved writer
+            // activity changes it).
+            let d = self.depth.load(Ordering::Relaxed);
+            let shown = (d as usize).min(MAX_SAMPLED_DEPTH);
+            let mut raw = [[0u64; 2]; MAX_SAMPLED_DEPTH];
+            for (i, pair) in raw.iter_mut().enumerate().take(shown) {
+                pair[0] = self.frames[i][0].load(Ordering::Relaxed);
+                pair[1] = self.frames[i][1].load(Ordering::Relaxed);
+            }
+            // Acquire: the validating re-read — equal to s1 only when no
+            // writer update overlapped the payload copy.
+            let s2 = self.seq.load(Ordering::Acquire);
+            if s2 != s1 {
+                spin_hint();
+                continue;
+            }
+            for pair in raw.iter().take(shown) {
+                // SAFETY: the seq validation proved no writer update
+                // overlapped the copy, and every store to these words is
+                // a matched (ptr, len) pair from a real `&'static str`
+                // in a completed `push`, ordered before our loads by the
+                // Release/Acquire pairs above — so reconstructing the
+                // str is sound, exactly as in `ring::SpanRing::collect`.
+                out.push(unsafe {
+                    std::str::from_utf8_unchecked(std::slice::from_raw_parts(
+                        pair[0] as *const u8,
+                        pair[1] as usize,
+                    ))
+                });
+            }
+            return Some(d);
+        }
+        None
+    }
+}
+
+/// One collapsed stack observed by the sampler.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StackCount {
+    /// Label of the thread the samples were taken on.
+    pub thread: String,
+    /// Span names, outermost first. `[IDLE_FRAME]` for an idle thread.
+    pub frames: Vec<&'static str>,
+    /// Number of sampler ticks that observed exactly this path.
+    pub samples: u64,
+}
+
+/// Per-kernel time attribution derived from the sampled stacks.
+#[derive(Clone, Debug, PartialEq)]
+pub struct KernelTime {
+    /// Span name.
+    pub name: &'static str,
+    /// Samples with this span innermost × period (time attributed to
+    /// the span's own code).
+    pub self_ns: u64,
+    /// Samples with this span anywhere on the path × period (time in
+    /// the span or anything it called).
+    pub total_ns: u64,
+    /// Samples with this span innermost.
+    pub self_samples: u64,
+}
+
+/// The sampler's output: weighted collapsed stacks plus bookkeeping.
+#[derive(Clone, Debug, Default)]
+pub struct SampleProfile {
+    /// Sampling period in nanoseconds (the weight of one sample).
+    pub period_ns: u64,
+    /// Sampler wakeups that took a snapshot.
+    pub ticks: u64,
+    /// Slot reads abandoned because the writer was mid-update on every
+    /// attempt (lost samples, one per thread per affected tick).
+    pub missed: u64,
+    /// Samples whose published depth exceeded [`MAX_SAMPLED_DEPTH`]
+    /// (recorded with the deepest frames cut off).
+    pub truncated: u64,
+    /// Collapsed stacks, sorted by thread label then path.
+    pub stacks: Vec<StackCount>,
+}
+
+impl SampleProfile {
+    /// Total non-idle samples across all threads.
+    pub fn busy_samples(&self) -> u64 {
+        self.stacks
+            .iter()
+            .filter(|s| s.frames != [IDLE_FRAME])
+            .map(|s| s.samples)
+            .sum()
+    }
+
+    /// Per-kernel self/total attribution, busiest self-time first.
+    /// Idle pseudo-frames are excluded; a span appearing twice on one
+    /// path (recursion) is counted once toward its total.
+    pub fn kernel_times(&self) -> Vec<KernelTime> {
+        fn entry(acc: &mut Vec<KernelTime>, name: &'static str) -> usize {
+            match acc.iter().position(|k| k.name == name) {
+                Some(i) => i,
+                None => {
+                    acc.push(KernelTime {
+                        name,
+                        self_ns: 0,
+                        total_ns: 0,
+                        self_samples: 0,
+                    });
+                    acc.len() - 1
+                }
+            }
+        }
+        let mut acc: Vec<KernelTime> = Vec::new();
+        for s in &self.stacks {
+            if s.frames.is_empty() || s.frames == [IDLE_FRAME] {
+                continue;
+            }
+            let w = s.samples * self.period_ns;
+            let leaf = *s.frames.last().unwrap();
+            let i = entry(&mut acc, leaf);
+            acc[i].self_ns += w;
+            acc[i].self_samples += s.samples;
+            let mut seen: Vec<&'static str> = Vec::with_capacity(s.frames.len());
+            for f in &s.frames {
+                if !seen.contains(f) {
+                    seen.push(f);
+                    let i = entry(&mut acc, f);
+                    acc[i].total_ns += w;
+                }
+            }
+        }
+        acc.sort_by(|a, b| b.self_ns.cmp(&a.self_ns).then(a.name.cmp(b.name)));
+        acc
+    }
+
+    /// Self-time seconds attributed to `name` (0 when never sampled).
+    pub fn self_seconds(&self, name: &str) -> f64 {
+        self.kernel_times()
+            .iter()
+            .find(|k| k.name == name)
+            .map_or(0.0, |k| k.self_ns as f64 * 1e-9)
+    }
+
+    /// Total-time seconds attributed to `name` (self plus callees).
+    pub fn total_seconds(&self, name: &str) -> f64 {
+        self.kernel_times()
+            .iter()
+            .find(|k| k.name == name)
+            .map_or(0.0, |k| k.total_ns as f64 * 1e-9)
+    }
+}
+
+/// Default sampling period: `FUN3D_SAMPLER_US` microseconds, else 250µs
+/// (4 kHz — coarse enough to stay invisible, fine enough that even the
+/// tiny-mesh verify run lands hundreds of samples).
+pub fn period_from_env() -> Duration {
+    let us = std::env::var("FUN3D_SAMPLER_US")
+        .ok()
+        .and_then(|v| v.trim().parse::<u64>().ok())
+        .unwrap_or(250)
+        .clamp(50, 1_000_000);
+    Duration::from_micros(us)
+}
+
+/// A running background sampler. Created by [`Sampler::start`]; stopped
+/// (and its profile collected) by [`Sampler::stop`]. Dropping without
+/// stopping shuts the thread down and discards the profile.
+pub struct Sampler {
+    stop: Arc<StdAtomicBool>,
+    handle: Option<std::thread::JoinHandle<SampleProfile>>,
+}
+
+impl Sampler {
+    /// Spawns the sampler thread snapshotting every registered thread's
+    /// span slot at `period`. The period is clamped to [50µs, 100ms] so
+    /// shutdown latency stays bounded.
+    pub fn start(period: Duration) -> Sampler {
+        let period = period.clamp(Duration::from_micros(50), Duration::from_millis(100));
+        let stop = Arc::new(StdAtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("fun3d-sampler".to_string())
+            .spawn(move || sampler_loop(&stop2, period))
+            .expect("spawn sampler thread");
+        Sampler {
+            stop,
+            handle: Some(handle),
+        }
+    }
+
+    /// Stops the sampler and returns the accumulated profile. Blocks at
+    /// most ~one period plus one snapshot.
+    pub fn stop(mut self) -> SampleProfile {
+        self.stop.store(true, StdOrdering::Release);
+        self.handle
+            .take()
+            .expect("sampler already stopped")
+            .join()
+            .unwrap_or_default()
+    }
+}
+
+impl Drop for Sampler {
+    fn drop(&mut self) {
+        if let Some(h) = self.handle.take() {
+            self.stop.store(true, StdOrdering::Release);
+            let _ = h.join();
+        }
+    }
+}
+
+fn sampler_loop(stop: &StdAtomicBool, period: Duration) -> SampleProfile {
+    let period_ns = period.as_nanos() as u64;
+    let mut counts: HashMap<(String, Vec<&'static str>), u64> = HashMap::new();
+    let mut ticks = 0u64;
+    let mut missed = 0u64;
+    let mut truncated = 0u64;
+    let mut path: Vec<&'static str> = Vec::with_capacity(MAX_SAMPLED_DEPTH);
+    while !stop.load(StdOrdering::Acquire) {
+        std::thread::sleep(period);
+        ticks += 1;
+        // Snapshot every registered thread cell. Holding the registry
+        // lock during the sweep is fine: recording threads only take it
+        // on first-ever span, never in steady state.
+        let cells = super::registry().lock().unwrap_or_else(|p| p.into_inner());
+        for cell in cells.iter() {
+            match cell.slot.try_read(&mut path) {
+                None => missed += 1,
+                Some(depth) => {
+                    if depth as usize > MAX_SAMPLED_DEPTH {
+                        truncated += 1;
+                    }
+                    let frames: Vec<&'static str> = if path.is_empty() {
+                        vec![IDLE_FRAME]
+                    } else {
+                        path.clone()
+                    };
+                    let label = cell.label.lock().unwrap_or_else(|p| p.into_inner()).clone();
+                    *counts.entry((label, frames)).or_insert(0) += 1;
+                }
+            }
+        }
+        drop(cells);
+    }
+    let mut stacks: Vec<StackCount> = counts
+        .into_iter()
+        .map(|((thread, frames), samples)| StackCount {
+            thread,
+            frames,
+            samples,
+        })
+        .collect();
+    stacks.sort_by(|a, b| a.thread.cmp(&b.thread).then(a.frames.cmp(&b.frames)));
+    SampleProfile {
+        period_ns,
+        ticks,
+        missed,
+        truncated,
+        stacks,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slot_push_pop_roundtrip() {
+        let slot = SpanSlot::new();
+        let mut out = Vec::new();
+        assert_eq!(slot.try_read(&mut out), Some(0));
+        assert!(out.is_empty());
+        slot.push("flux");
+        slot.push("pool.chunk");
+        assert_eq!(slot.try_read(&mut out), Some(2));
+        assert_eq!(out, vec!["flux", "pool.chunk"]);
+        slot.pop();
+        assert_eq!(slot.try_read(&mut out), Some(1));
+        assert_eq!(out, vec!["flux"]);
+        slot.pop();
+        assert_eq!(slot.try_read(&mut out), Some(0));
+        assert!(out.is_empty());
+        // Unbalanced pop is clamped, not wrapped.
+        slot.pop();
+        assert_eq!(slot.depth(), 0);
+    }
+
+    #[test]
+    fn slot_truncates_past_max_depth_but_stays_balanced() {
+        let slot = SpanSlot::new();
+        for _ in 0..MAX_SAMPLED_DEPTH + 3 {
+            slot.push("deep");
+        }
+        let mut out = Vec::new();
+        let depth = slot.try_read(&mut out).unwrap();
+        assert_eq!(depth as usize, MAX_SAMPLED_DEPTH + 3);
+        assert_eq!(out.len(), MAX_SAMPLED_DEPTH);
+        for _ in 0..MAX_SAMPLED_DEPTH + 3 {
+            slot.pop();
+        }
+        assert_eq!(slot.try_read(&mut out), Some(0));
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn concurrent_reader_sees_only_legal_prefixes() {
+        // Stress analogue of the exhaustive model in
+        // tests/model_sampler_slot.rs: the reader must only ever observe
+        // a prefix of the writer's current nesting.
+        use std::sync::atomic::AtomicBool;
+        let slot = Arc::new(SpanSlot::new());
+        let stop = Arc::new(AtomicBool::new(false));
+        let writer = {
+            let slot = Arc::clone(&slot);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                while !stop.load(StdOrdering::Relaxed) {
+                    slot.push("outer");
+                    slot.push("mid");
+                    slot.push("inner");
+                    slot.pop();
+                    slot.pop();
+                    slot.pop();
+                }
+            })
+        };
+        let legal: [&[&str]; 4] = [&[], &["outer"], &["outer", "mid"], &["outer", "mid", "inner"]];
+        let mut out = Vec::new();
+        let mut seen_nonempty = false;
+        for _ in 0..20_000 {
+            if slot.try_read(&mut out).is_some() {
+                assert!(
+                    legal.contains(&out.as_slice()),
+                    "illegal sampled path: {out:?}"
+                );
+                seen_nonempty |= !out.is_empty();
+            }
+        }
+        stop.store(true, StdOrdering::Relaxed);
+        writer.join().unwrap();
+        // On any real scheduler the reader lands inside the nest often.
+        assert!(seen_nonempty, "reader never saw an open span");
+    }
+
+    #[test]
+    fn profile_attribution_self_vs_total() {
+        let p = SampleProfile {
+            period_ns: 1_000,
+            ticks: 10,
+            missed: 0,
+            truncated: 0,
+            stacks: vec![
+                StackCount {
+                    thread: "w0".into(),
+                    frames: vec!["gmres", "trsv"],
+                    samples: 6,
+                },
+                StackCount {
+                    thread: "w0".into(),
+                    frames: vec!["gmres"],
+                    samples: 3,
+                },
+                StackCount {
+                    thread: "w0".into(),
+                    frames: vec![IDLE_FRAME],
+                    samples: 1,
+                },
+            ],
+        };
+        assert_eq!(p.busy_samples(), 9);
+        let times = p.kernel_times();
+        assert_eq!(times[0].name, "trsv"); // busiest self time first
+        assert_eq!(times[0].self_ns, 6_000);
+        assert_eq!(times[0].total_ns, 6_000);
+        let gmres = times.iter().find(|k| k.name == "gmres").unwrap();
+        assert_eq!(gmres.self_ns, 3_000);
+        assert_eq!(gmres.total_ns, 9_000);
+        assert!((p.self_seconds("trsv") - 6e-6).abs() < 1e-15);
+        assert!((p.total_seconds("gmres") - 9e-6).abs() < 1e-15);
+        assert_eq!(p.self_seconds("flux"), 0.0);
+    }
+
+    #[test]
+    fn recursion_counts_total_once() {
+        let p = SampleProfile {
+            period_ns: 100,
+            ticks: 1,
+            missed: 0,
+            truncated: 0,
+            stacks: vec![StackCount {
+                thread: "t".into(),
+                frames: vec!["a", "b", "a"],
+                samples: 2,
+            }],
+        };
+        let a = p.kernel_times().into_iter().find(|k| k.name == "a").unwrap();
+        assert_eq!(a.total_ns, 200, "recursive frame counted once per sample");
+        assert_eq!(a.self_ns, 200, "leaf occurrence still accrues self");
+    }
+
+    #[test]
+    fn sampler_start_stop_is_clean_and_counts_ticks() {
+        let s = Sampler::start(Duration::from_micros(200));
+        std::thread::sleep(Duration::from_millis(20));
+        let p = s.stop();
+        assert!(p.ticks > 0, "sampler never woke");
+        assert_eq!(p.period_ns, 200_000);
+    }
+
+    #[test]
+    fn period_from_env_default_and_clamp() {
+        // Not set in the test environment unless the user exports it;
+        // accept any in-range value but require the clamp bounds.
+        let p = period_from_env();
+        assert!(p >= Duration::from_micros(50) && p <= Duration::from_secs(1));
+    }
+}

@@ -1,0 +1,118 @@
+//! Model check for the sampler's per-thread span-slot seqlock. Compiled
+//! only under `--cfg fun3d_check`, where the slot's atomics are
+//! fun3d-check's tracked types.
+//!
+//! The slot's soundness claim mirrors the span ring's: `try_read`
+//! reconstructs `&'static str` names from raw pointer/length pairs read
+//! out of atomics, and the only thing standing between that and
+//! undefined behaviour is the sequence validation (a snapshot is
+//! surfaced only if the re-read proves no writer update overlapped the
+//! copy). The positive model lets the checker try every interleaving of
+//! a push/push/pop writer against a concurrent sampler read and asserts
+//! every surfaced snapshot is a *legal prefix* of the writer's history;
+//! the mutant downgrades the frame publication to `Relaxed` and the
+//! checker must find the schedule where the reader admits a torn
+//! (ptr, len) pair.
+#![cfg(fun3d_check)]
+
+use fun3d_check::shim::{spin_hint, AtomicU64, Ordering};
+use fun3d_check::{explore, thread, Config, FailureKind};
+use fun3d_util::telemetry::sampler::SpanSlot;
+use std::sync::Arc;
+
+fn cfg() -> Config {
+    Config {
+        max_threads: 4,
+        preemption_bound: Some(2),
+        max_schedules: 400_000,
+        history: 3,
+    }
+}
+
+#[test]
+fn concurrent_read_sees_only_legal_stack_prefixes() {
+    // Writer: push "a", push "bb", pop — the slot's published state
+    // moves [] → ["a"] → ["a","bb"] → ["a"]. A concurrent `try_read`
+    // must only ever surface one of those exact states; anything else
+    // (a name that is neither "a" nor "bb", a ["bb"] orphan, a stale
+    // frame beyond the published depth) means the validation admitted a
+    // torn snapshot — and the str reconstruction it guards would be
+    // undefined behaviour in production. A quiescent (join-ordered)
+    // read then checks the final state exactly.
+    let report = explore(&cfg(), || {
+        let slot = Arc::new(SpanSlot::new());
+        let s2 = Arc::clone(&slot);
+        let writer = thread::spawn(move || {
+            s2.push("a");
+            s2.push("bb");
+            s2.pop();
+        });
+        let mut path: Vec<&'static str> = Vec::new();
+        if let Some(depth) = slot.try_read(&mut path) {
+            assert_eq!(depth as usize, path.len(), "depth/frames mismatch");
+            let legal: [&[&str]; 3] = [&[], &["a"], &["a", "bb"]];
+            assert!(
+                legal.iter().any(|l| *l == path.as_slice()),
+                "torn snapshot surfaced: {path:?}"
+            );
+        }
+        writer.join();
+        // Join-ordered read: the writer finished at depth 1, path ["a"].
+        let depth = slot.try_read(&mut path).expect("quiescent read cannot miss");
+        assert_eq!(depth, 1);
+        assert_eq!(path, ["a"]);
+    });
+    // Schedule count quoted in EXPERIMENTS.md; visible with --nocapture.
+    eprintln!("explored {} schedules (exhaustive: {})", report.schedules, report.exhaustive);
+    assert!(report.failure.is_none(), "{:?}", report.failure);
+    assert!(report.exhaustive, "budget too small: {}", report.schedules);
+    assert!(report.schedules >= 2);
+}
+
+#[test]
+fn relaxed_seq_publication_is_caught() {
+    // Mutant skeleton of `SpanSlot::push` with the end-of-update seq
+    // store — the publication edge — downgraded to Relaxed. A reader
+    // whose first seq read observes the even value then no longer
+    // synchronizes with the update's Relaxed payload stores, so its
+    // payload loads may return stale words from an older update while
+    // the s1 == s2 validation still passes: the seqlock admits a torn
+    // (ptr, len) pair. The payload uses plain u64 pairs instead of str
+    // parts so the bug manifests as a caught assertion, not as actual
+    // undefined behaviour inside the test.
+    let report = explore(&cfg(), || {
+        let seq = Arc::new(AtomicU64::new(0));
+        let frame = Arc::new([AtomicU64::new(0), AtomicU64::new(0)]);
+        let (q2, f2) = (Arc::clone(&seq), Arc::clone(&frame));
+        let writer = thread::spawn(move || {
+            q2.store(1, Ordering::Release);
+            f2[0].store(21, Ordering::Relaxed);
+            f2[1].store(42, Ordering::Relaxed);
+            q2.store(2, Ordering::Relaxed); // BUG: SpanSlot::push uses Release
+        });
+        // A bounded seqlock read, exactly as `try_read` does it.
+        for _ in 0..8 {
+            let s1 = seq.load(Ordering::Acquire);
+            if s1 % 2 == 1 {
+                spin_hint();
+                continue;
+            }
+            let a = frame[0].load(Ordering::Relaxed);
+            let b = frame[1].load(Ordering::Relaxed);
+            let s2 = seq.load(Ordering::Acquire);
+            if s2 != s1 {
+                spin_hint();
+                continue;
+            }
+            assert!(
+                (a, b) == (0, 0) || (a, b) == (21, 42),
+                "validated snapshot is torn: ({a}, {b})"
+            );
+            break;
+        }
+        writer.join();
+    });
+    let f = report.failure.expect("checker must catch the relaxed seq publication");
+    assert_eq!(f.kind, FailureKind::Panic, "{}", f.message);
+    assert!(!f.schedule.is_empty());
+}

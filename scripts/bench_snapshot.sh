@@ -4,6 +4,11 @@
 # per-GMRES-iteration wall time and regions launched per iteration, for
 # the region-per-op and persistent-region execution modes.
 #
+# Every snapshot is ALSO appended (with commit/date/config provenance) to
+# the append-only BENCH_history.jsonl, which is what `perf_regress`
+# judges new runs against. BENCH_solver.json stays the latest-snapshot
+# view; the history file is the trajectory.
+#
 # Usage: scripts/bench_snapshot.sh [mesh] [reps]   (defaults: tiny 5)
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -33,3 +38,14 @@ DATE=$(date -u +%Y-%m-%dT%H:%M:%SZ)
 } > BENCH_solver.json
 
 echo "[solver benchmark snapshot written to BENCH_solver.json]"
+
+# Append the distilled metrics to the performance history and judge the
+# new entry against the baseline window (soft gate by default; export
+# FUN3D_PERF_GATE=hard to make a regression fail this script).
+cargo run --release --offline -q -p fun3d-bench --bin perf_regress -- \
+    --append "$ARTIFACT" --history BENCH_history.jsonl \
+    --commit "$COMMIT" --date "$DATE" --config "mesh=$MESH" --config "reps=$REPS"
+cargo run --release --offline -q -p fun3d-bench --bin perf_regress -- \
+    --history BENCH_history.jsonl
+
+echo "[history appended to BENCH_history.jsonl]"

@@ -67,11 +67,17 @@ if cargo test -q --offline -p fun3d-check --test checker -- \
 fi
 echo "ok: model checker catches the canary race"
 
-echo "== perf_report on the tiny mesh (telemetry artifacts) =="
-# Run the telemetry report end to end, then prove both artifacts are
-# machine-readable with the binary's own strict JSON parser (--check).
+echo "== perf_report on the tiny mesh (telemetry + sampler artifacts) =="
+# Run the telemetry report end to end — at full detail the sampling
+# profiler rides along — then prove every artifact is machine-readable
+# with the binary's own strict parsers (--check): the JSON summary (now
+# including the measured-vs-model roofline table), the Chrome trace, the
+# folded flamegraph text, and the speedscope profile.
 cargo run --release --offline -q -p fun3d-bench --bin perf_report -- --mesh tiny --threads 2
-for artifact in target/experiments/perf_report.json target/experiments/perf_report.trace.json; do
+for artifact in target/experiments/perf_report.json \
+                target/experiments/perf_report.trace.json \
+                target/experiments/perf_report.folded \
+                target/experiments/perf_report.speedscope.json; do
     if [ ! -f "$artifact" ]; then
         echo "FAIL: missing telemetry artifact $artifact"
         exit 1
@@ -91,5 +97,38 @@ if [ ! -f target/experiments/sync_ablation.json ]; then
 fi
 cargo run --release --offline -q -p fun3d-bench --bin sync_ablation -- --check target/experiments/sync_ablation.json
 echo "ok: sync ablation artifact present and parsable"
+
+echo "== perf history gate (perf_regress) =="
+# Detector self-check first: a synthetic history with an injected 3x
+# slowdown must be flagged, and under a hard gate that flag must turn
+# into a nonzero exit (negative canary, same idiom as the model-check
+# one above).
+cargo run --release --offline -q -p fun3d-bench --bin perf_regress -- --self-test
+if FUN3D_PERF_GATE=hard cargo run --release --offline -q -p fun3d-bench \
+    --bin perf_regress -- --self-test >/dev/null 2>&1; then
+    echo "FAIL: hard gate did not fail on the injected slowdown"
+    exit 1
+fi
+echo "ok: perf_regress detects the injected slowdown and the hard gate fails on it"
+# Then the real pipeline on a throwaway history: three appends of the
+# ablation artifact just produced (identical entries — a flat baseline),
+# judged under both gates. Identical snapshots must never trip the gate.
+PERF_HIST=target/experiments/verify_history.jsonl
+rm -f "$PERF_HIST"
+for i in 1 2 3; do
+    cargo run --release --offline -q -p fun3d-bench --bin perf_regress -- \
+        --append target/experiments/sync_ablation.json --history "$PERF_HIST" \
+        --commit "verify-$i" --date "verify" --config mesh=tiny >/dev/null
+done
+cargo run --release --offline -q -p fun3d-bench --bin perf_regress -- --history "$PERF_HIST"
+FUN3D_PERF_GATE=hard cargo run --release --offline -q -p fun3d-bench \
+    --bin perf_regress -- --history "$PERF_HIST"
+# The repo-level history, when present, is judged as a soft gate (export
+# FUN3D_PERF_GATE=hard locally to enforce it).
+if [ -f BENCH_history.jsonl ]; then
+    cargo run --release --offline -q -p fun3d-bench --bin perf_regress -- \
+        --history BENCH_history.jsonl
+fi
+echo "ok: perf history gate wired"
 
 echo "verify: OK"
