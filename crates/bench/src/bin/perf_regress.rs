@@ -99,12 +99,71 @@ fn parse_args() -> Args {
 }
 
 /// Distills a bench artifact into `(config, metrics)`. Dispatches on
-/// shape: `configs` array → `sync_ablation.json`, `run` object →
-/// `perf_report.json`. All metrics are lower-is-better.
+/// shape: `meshes` array → multi-mesh `sync_ablation.json`, `configs`
+/// array → the legacy single-mesh ablation shape, `run` object →
+/// `perf_report.json`. Metrics are lower-is-better except `*speedup*`
+/// keys (see [`fun3d_util::perfdb::higher_is_better`]).
 fn distill(doc: &Json) -> Result<(Vec<(String, String)>, Vec<(String, f64)>), String> {
     let mut config = Vec::new();
     let mut metrics = Vec::new();
-    if let Some(cfgs) = doc.get("configs").and_then(Json::as_arr) {
+    if let Some(meshes) = doc.get("meshes").and_then(Json::as_arr) {
+        if let Some(reps) = doc.get("reps").and_then(Json::as_f64) {
+            config.push(("reps".to_string(), format!("{reps}")));
+        }
+        let names: Vec<&str> = meshes
+            .iter()
+            .filter_map(|m| m.get("mesh").and_then(Json::as_str))
+            .collect();
+        config.push(("meshes".to_string(), names.join(",")));
+        for m in meshes {
+            let name = m
+                .get("mesh")
+                .and_then(Json::as_str)
+                .ok_or("mesh entry without 'mesh'")?;
+            if let Some(u) = m.get("unknowns").and_then(Json::as_f64) {
+                config.push((format!("{name}.unknowns"), format!("{u}")));
+            }
+            let cfgs = m
+                .get("configs")
+                .and_then(Json::as_arr)
+                .ok_or("mesh entry without 'configs'")?;
+            for c in cfgs {
+                let threads = c
+                    .get("threads")
+                    .and_then(Json::as_f64)
+                    .ok_or("config entry without 'threads'")? as u64;
+                let mode = c
+                    .get("mode")
+                    .and_then(Json::as_str)
+                    .ok_or("config entry without 'mode'")?;
+                let median = c
+                    .get("median_iter_seconds")
+                    .and_then(Json::as_f64)
+                    .ok_or("config entry without 'median_iter_seconds'")?;
+                if mode == "serial" {
+                    metrics.push((format!("{name}.serial.s_iter"), median));
+                } else {
+                    metrics.push((format!("{name}.{mode}.s_iter@{threads}t"), median));
+                }
+                // auto's regions/iter track whatever scheme it resolved
+                // to, so only the fixed modes are trended.
+                if mode == "per-op" || mode == "team" {
+                    if let Some(r) = c.get("regions_per_iter").and_then(Json::as_f64) {
+                        metrics.push((format!("{name}.{mode}.regions_per_iter@{threads}t"), r));
+                    }
+                }
+            }
+            for s in m.get("scaling").and_then(Json::as_arr).unwrap_or(&[]) {
+                let (Some(t), Some(sp)) = (
+                    s.get("threads").and_then(Json::as_f64),
+                    s.get("speedup_vs_nt1").and_then(Json::as_f64),
+                ) else {
+                    continue;
+                };
+                metrics.push((format!("{name}.speedup_nt{}_vs_nt1", t as u64), sp));
+            }
+        }
+    } else if let Some(cfgs) = doc.get("configs").and_then(Json::as_arr) {
         for key in ["mesh", "reps"] {
             if let Some(v) = doc.get(key) {
                 let s = v
@@ -171,6 +230,68 @@ fn distill(doc: &Json) -> Result<(Vec<(String, String)>, Vec<(String, f64)>), St
     Ok((config, metrics))
 }
 
+/// The speedup-vs-threads gate rule, applied to a multi-mesh ablation
+/// artifact: above the modeled crossover size, threads>1 **must** beat
+/// the nt=1 baseline (hard violation otherwise); below it, parallel
+/// execution is expected to sit within noise of serial (the adaptive
+/// policy resolves to serial there), so a clearly-slower result is only
+/// reported, never fatal. Returns `(hard_violations, soft_notes)`.
+fn scaling_rule(doc: &Json) -> (Vec<String>, Vec<String>) {
+    /// Below the crossover, "within noise" of the serial baseline.
+    const SOFT_NOISE_FLOOR: f64 = 0.8;
+    let (mut hard, mut soft) = (Vec::new(), Vec::new());
+    let Some(meshes) = doc.get("meshes").and_then(Json::as_arr) else {
+        return (hard, soft);
+    };
+    for m in meshes {
+        let name = m.get("mesh").and_then(Json::as_str).unwrap_or("<unnamed>");
+        for s in m.get("scaling").and_then(Json::as_arr).unwrap_or(&[]) {
+            let (Some(t), Some(sp)) = (
+                s.get("threads").and_then(Json::as_f64),
+                s.get("speedup_vs_nt1").and_then(Json::as_f64),
+            ) else {
+                continue;
+            };
+            let above = matches!(s.get("above_crossover"), Some(Json::Bool(true)));
+            if above && sp <= 1.0 {
+                hard.push(format!(
+                    "{name}: {t} threads not faster than 1 above the crossover \
+                     (speedup {sp:.2}x — the thread-scaling inversion)"
+                ));
+            } else if !above && sp < SOFT_NOISE_FLOOR {
+                soft.push(format!(
+                    "{name}: {t} threads at {sp:.2}x vs 1 below the crossover \
+                     (expected ~1.0 via the adaptive policy)"
+                ));
+            }
+        }
+    }
+    (hard, soft)
+}
+
+/// Evaluates [`scaling_rule`] on an artifact and reports. Returns
+/// nonzero only when a hard violation meets a hard gate.
+fn enforce_scaling_rule(doc: &Json, gate: Gate) -> i32 {
+    let (hard, soft) = scaling_rule(doc);
+    for n in &soft {
+        println!("scaling (soft): {n}");
+    }
+    for v in &hard {
+        eprintln!("scaling VIOLATION: {v}");
+    }
+    if !hard.is_empty() && gate == Gate::Hard {
+        eprintln!(
+            "perf_regress: HARD GATE FAILED — {} scaling violation(s)",
+            hard.len()
+        );
+        return 1;
+    }
+    if !hard.is_empty() {
+        println!("perf_regress: soft gate — scaling violations reported, not failing");
+    }
+    0
+}
+
 fn do_append(args: &Args) -> i32 {
     let artifact = args.append.as_ref().unwrap();
     let Some(history) = args.history.as_ref() else {
@@ -213,7 +334,10 @@ fn do_append(args: &Args) -> i32 {
                 artifact.display(),
                 history.display()
             );
-            0
+            // The speedup-vs-threads rule runs on the artifact itself
+            // (it carries the per-mesh crossover verdicts the flat
+            // history lines do not).
+            enforce_scaling_rule(&doc, Gate::from_env())
         }
         Err(e) => {
             eprintln!("perf_regress: cannot append to {}: {e}", history.display());
@@ -355,8 +479,56 @@ fn do_self_test() -> i32 {
         "\nself-test: injected 3x slowdown detected (ratio {:.2}), flat metric clean",
         slow.ratio
     );
-    if gate == Gate::Hard && regressions > 0 {
-        eprintln!("perf_regress: HARD GATE FAILED — {regressions} metric(s) regressed");
+
+    // Scaling-rule canary: a synthetic mesh above the crossover whose
+    // best parallel mode is SLOWER than serial — the thread-scaling
+    // inversion. The rule must flag it; a healthy companion (fast above
+    // the crossover, ~1.0 below) must stay clean.
+    let scaling_mesh = |name: &str, speedup: f64, above: bool| {
+        Json::obj(vec![
+            ("mesh", Json::str(name)),
+            ("unknowns", Json::num(500_000.0)),
+            ("configs", Json::Arr(vec![])),
+            (
+                "scaling",
+                Json::Arr(vec![Json::obj(vec![
+                    ("threads", Json::num(4.0)),
+                    ("speedup_vs_nt1", Json::num(speedup)),
+                    ("best_mode", Json::str("team")),
+                    ("crossover_unknowns", Json::num(50_000.0)),
+                    ("above_crossover", Json::Bool(above)),
+                ])]),
+            ),
+        ])
+    };
+    let canary = Json::obj(vec![(
+        "meshes",
+        Json::Arr(vec![scaling_mesh("canary-inverted", 0.7, true)]),
+    )]);
+    let (canary_hard, _) = scaling_rule(&canary);
+    if canary_hard.is_empty() {
+        eprintln!(
+            "perf_regress: SELF-TEST FAILED — threads-slower-than-serial canary not flagged"
+        );
+        return 2;
+    }
+    let healthy = Json::obj(vec![(
+        "meshes",
+        Json::Arr(vec![
+            scaling_mesh("healthy-large", 1.8, true),
+            scaling_mesh("healthy-tiny", 0.97, false),
+        ]),
+    )]);
+    let (healthy_hard, healthy_soft) = scaling_rule(&healthy);
+    if !healthy_hard.is_empty() || !healthy_soft.is_empty() {
+        eprintln!("perf_regress: SELF-TEST FAILED — healthy scaling artifact falsely flagged");
+        return 2;
+    }
+    println!("self-test: scaling canary flagged, healthy scaling clean");
+    let canary_code = enforce_scaling_rule(&canary, gate);
+
+    if gate == Gate::Hard && (regressions > 0 || canary_code != 0) {
+        eprintln!("perf_regress: HARD GATE FAILED — injected regressions correctly fatal");
         return 1;
     }
     0

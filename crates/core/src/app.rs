@@ -9,6 +9,7 @@ use fun3d_mesh::{reorder, DualMesh, Mesh};
 use fun3d_partition::{natural_partition, partition_graph, MultilevelConfig, OwnerWritesPlan};
 use fun3d_solver::precond::Preconditioner;
 use fun3d_solver::ptc::{self, PtcConfig, PtcProblem, PtcStats};
+use fun3d_solver::ExecMode;
 use fun3d_sparse::{ilu, levels, p2p, trsv, Bcsr4, IluFactors, LevelSchedule, P2pProgress, P2pSchedule};
 use fun3d_threads::{TeamMember, TeamSlice, ThreadPool};
 use fun3d_util::telemetry;
@@ -57,12 +58,13 @@ pub struct OptConfig {
     /// scheme; exact for linear fields at all vertices) instead of
     /// edge-midpoint Green-Gauss.
     pub use_lsq_gradients: bool,
-    /// Run GMRES in persistent-SPMD-region mode: one pool region per
-    /// Arnoldi iteration (barrier phases + tree reductions inside)
-    /// instead of one region per vector op. Numerically identical to the
-    /// per-op path at a fixed thread count; kills the per-kernel
-    /// fork-join the paper's synchronization analysis targets.
-    pub team_regions: bool,
+    /// Linear-solve execution scheme: serial, region-per-op, persistent
+    /// SPMD team regions, or `Auto` (pick per solve from the machine
+    /// model + measured sync costs). All schemes are numerically
+    /// identical at a fixed thread count; they differ only in how much
+    /// fork-join and barrier synchronization they pay, which is what the
+    /// paper's synchronization analysis targets.
+    pub exec: ExecMode,
 }
 
 impl OptConfig {
@@ -78,7 +80,7 @@ impl OptConfig {
             use_limiter: false,
             ilu_lag: 1,
             use_lsq_gradients: false,
-            team_regions: false,
+            exec: ExecMode::PerOp,
         }
     }
 
@@ -98,7 +100,10 @@ impl OptConfig {
             use_limiter: false,
             ilu_lag: 1,
             use_lsq_gradients: false,
-            team_regions: nthreads > 1,
+            // Let the policy model pick serial/per-op/team per solve:
+            // hard-coding team mode here is exactly the thread-scaling
+            // inversion on small meshes (sync cost > parallel payoff).
+            exec: ExecMode::Auto,
         }
     }
 }
@@ -515,8 +520,12 @@ impl PtcProblem for Fun3dApp {
         self.pool.clone()
     }
 
-    fn team_regions(&self) -> bool {
-        self.cfg.team_regions && self.pool.is_some()
+    fn exec_mode(&self) -> ExecMode {
+        if self.pool.is_some() {
+            self.cfg.exec
+        } else {
+            ExecMode::Serial
+        }
     }
 }
 
@@ -691,15 +700,15 @@ mod tests {
         // thread count: identical chunking and thread-order reductions
         // make the whole nonlinear solve bitwise reproducible.
         for ilu_parallel in [IluParallel::Levels, IluParallel::P2p] {
-            let run = |team: bool| {
+            let run = |exec: ExecMode| {
                 let mut cfg = OptConfig::optimized(2);
                 cfg.ilu_parallel = ilu_parallel;
-                cfg.team_regions = team;
+                cfg.exec = exec;
                 let mut app = build(cfg);
                 app.run(&solve_config())
             };
-            let (u_per_op, s_per_op) = run(false);
-            let (u_team, s_team) = run(true);
+            let (u_per_op, s_per_op) = run(ExecMode::PerOp);
+            let (u_team, s_team) = run(ExecMode::Team);
             assert!(s_per_op.converged && s_team.converged);
             assert_eq!(s_per_op.res_history, s_team.res_history, "{ilu_parallel:?}");
             assert_eq!(u_per_op, u_team, "{ilu_parallel:?}");

@@ -75,6 +75,33 @@ impl MachineSpec {
         }
     }
 
+    /// A best-effort description of the machine the process is running
+    /// on: core count from the scheduler (`available_parallelism`, which
+    /// respects affinity masks and cgroup quotas), the remaining
+    /// microarchitectural numbers borrowed from the Ivy Bridge EP preset
+    /// scaled to that core count. Good enough for the execution-policy
+    /// chooser, which only needs the *shape* of the bandwidth ramp and
+    /// the barrier-cost growth — measured sync costs are layered on top
+    /// by the calibration probe.
+    pub fn host() -> MachineSpec {
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let proto = MachineSpec::xeon_e5_2690v2();
+        MachineSpec {
+            name: "detected host",
+            cores,
+            smt: 1,
+            // Per-core bandwidth share of the prototype, saturating at
+            // the same ~4-core point (or earlier on smaller hosts).
+            stream_gbs: proto.stream_gbs * (cores as f64 / proto.cores as f64).min(1.0),
+            peak_bw_gbs: proto.peak_bw_gbs * (cores as f64 / proto.cores as f64).min(1.0),
+            bw_saturation_cores: proto.bw_saturation_cores.min(cores as f64),
+            smt_yield: 1.0,
+            ..proto
+        }
+    }
+
     /// Peak DP Gflop/s of the whole socket.
     pub fn peak_gflops(&self) -> f64 {
         self.cores as f64 * self.freq_ghz * self.flops_per_cycle
@@ -187,6 +214,17 @@ mod tests {
         loads[3] = 30.0e9;
         let t = m.thread_compute_seconds(&loads);
         assert!(t >= m.seconds(30.0e9) / m.smt_yield);
+    }
+
+    #[test]
+    fn host_spec_is_sane() {
+        let h = MachineSpec::host();
+        assert!(h.cores >= 1);
+        assert!(h.stream_gbs > 0.0);
+        assert!(h.bw_saturation_cores >= 1.0);
+        assert!(h.bw_saturation_cores <= h.cores as f64 + 1e-9 || h.cores >= 4);
+        // Bandwidth at full occupancy reaches the STREAM figure.
+        assert!((h.bandwidth_at(h.cores.max(4)) - h.stream_gbs).abs() < 1e-9);
     }
 
     #[test]

@@ -73,6 +73,12 @@ pub enum GmresExec<'p> {
     /// Persistent SPMD regions on the given pool: one region per Arnoldi
     /// iteration.
     Team(&'p ThreadPool),
+    /// Pick Serial / PerOp / Team per solve from the machine model plus
+    /// the measured sync costs of this pool
+    /// ([`AutoPolicy`](crate::policy::AutoPolicy)): serial below the
+    /// size where the pool's threads can amortize region-launch and
+    /// barrier cost, the cheapest parallel scheme above it.
+    Auto(&'p ThreadPool),
 }
 
 /// Why GMRES stopped.
@@ -106,6 +112,9 @@ pub struct GmresResult {
     /// Per-iteration Givens residual norms, in iteration order across
     /// restarts. Execution-path equivalence is asserted on this.
     pub history: Vec<f64>,
+    /// The concrete execution scheme that ran (`"serial"`, `"per-op"`,
+    /// `"team"`) — for [`GmresExec::Auto`], whichever the policy chose.
+    pub exec: &'static str,
 }
 
 /// Shared-reference wrapper asserting team-call safety for trait objects
@@ -178,6 +187,14 @@ impl Gmres {
             GmresExec::Serial => self.solve_seq(a, m, b, x, None),
             GmresExec::PerOp(pool) => self.solve_seq(a, m, b, x, Some(pool)),
             GmresExec::Team(pool) => self.solve_team(a, m, b, x, pool),
+            GmresExec::Auto(pool) => {
+                let mode = crate::policy::AutoPolicy::for_pool(pool).choose(b.len(), pool.size());
+                match mode {
+                    crate::policy::ExecMode::Serial => self.solve_seq(a, m, b, x, None),
+                    crate::policy::ExecMode::PerOp => self.solve_seq(a, m, b, x, Some(pool)),
+                    _ => self.solve_team(a, m, b, x, pool),
+                }
+            }
         }
     }
 
@@ -195,6 +212,7 @@ impl Gmres {
         assert_eq!(a.dim(), n);
         assert_eq!(x.len(), n);
         let restart = self.config.restart;
+        let exec = if pool.is_some() { "per-op" } else { "serial" };
 
         let mut total_iters = 0usize;
         let mut reductions = 0usize;
@@ -228,6 +246,7 @@ impl Gmres {
                     residual0,
                     reductions,
                     history,
+                    exec,
                 };
             }
             if beta <= self.config.rtol * residual0 {
@@ -238,6 +257,7 @@ impl Gmres {
                     residual0,
                     reductions,
                     history,
+                    exec,
                 };
             }
             // v1 = r/beta
@@ -398,6 +418,7 @@ impl Gmres {
                         residual0,
                         reductions,
                         history,
+                        exec,
                     }
                 }
                 None => {
@@ -409,6 +430,7 @@ impl Gmres {
                             residual0,
                             reductions,
                             history,
+                            exec,
                         };
                     }
                     // restart
@@ -461,6 +483,7 @@ impl Gmres {
         let a_sync = AssertTeamSafe(a);
         let m_sync = AssertTeamSafe(m);
 
+        let exec = "team";
         let mut total_iters = 0usize;
         let mut reductions = 0usize;
         let mut residual0 = f64::NAN;
@@ -515,6 +538,7 @@ impl Gmres {
                     residual0,
                     reductions,
                     history,
+                    exec,
                 };
             }
             if beta <= rtol * residual0 {
@@ -525,6 +549,7 @@ impl Gmres {
                     residual0,
                     reductions,
                     history,
+                    exec,
                 };
             }
             let mut g = vec![0.0; restart + 1];
@@ -689,6 +714,7 @@ impl Gmres {
                         residual0,
                         reductions,
                         history,
+                        exec,
                     }
                 }
                 None => {
@@ -700,6 +726,7 @@ impl Gmres {
                             residual0,
                             reductions,
                             history,
+                            exec,
                         };
                     }
                     // restart
@@ -1075,6 +1102,74 @@ mod tests {
             GmresOutcome::ConvergedRtol | GmresOutcome::ConvergedAtol | GmresOutcome::Breakdown
         ));
         check_solution(&a, &b, &x, 1e-6);
+    }
+
+    #[test]
+    fn result_reports_executed_mode() {
+        let a = mesh_matrix(87);
+        let n = a.dim();
+        let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin()).collect();
+        let cfg = GmresConfig {
+            rtol: 1e-6,
+            max_iters: 200,
+            ..Default::default()
+        };
+        let pool = ThreadPool::new(2);
+        let m = IdentityPrecond(n);
+        let (r, _) = solve_mode(&a, &m, &b, cfg, GmresExec::Serial);
+        assert_eq!(r.exec, "serial");
+        let (r, _) = solve_mode(&a, &m, &b, cfg, GmresExec::PerOp(&pool));
+        assert_eq!(r.exec, "per-op");
+        let (r, _) = solve_mode(&a, &m, &b, cfg, GmresExec::Team(&pool));
+        assert_eq!(r.exec, "team");
+    }
+
+    #[test]
+    fn auto_matches_its_selected_mode_bitwise() {
+        // Whatever concrete scheme the policy picks on this machine,
+        // Auto must be indistinguishable from running that scheme
+        // directly: same residual history, bitwise-identical iterates.
+        let a = mesh_matrix(88);
+        let n = a.dim();
+        let b: Vec<f64> = (0..n).map(|i| ((i % 13) as f64) - 6.0).collect();
+        let cfg = GmresConfig {
+            rtol: 1e-8,
+            max_iters: 300,
+            ..Default::default()
+        };
+        for nt in [1usize, 2] {
+            let pool = ThreadPool::new(nt);
+            let m = IdentityPrecond(n);
+            let (ra, xa) = solve_mode(&a, &m, &b, cfg, GmresExec::Auto(&pool));
+            let concrete = match ra.exec {
+                "serial" => GmresExec::Serial,
+                "per-op" => GmresExec::PerOp(&pool),
+                "team" => GmresExec::Team(&pool),
+                other => panic!("Auto reported unknown exec {other:?}"),
+            };
+            let (rc, xc) = solve_mode(&a, &m, &b, cfg, concrete);
+            assert_eq!(rc.exec, ra.exec, "nt={nt}");
+            assert_eq!(ra.history, rc.history, "nt={nt}");
+            assert_eq!(xa, xc, "nt={nt}");
+            assert_eq!(ra.reductions, rc.reductions, "nt={nt}");
+        }
+    }
+
+    #[test]
+    fn auto_on_single_worker_pool_is_serial() {
+        // An nt=1 pool can never amortize sync cost: the policy must
+        // resolve Auto to the serial path regardless of problem size.
+        let a = mesh_matrix(89);
+        let n = a.dim();
+        let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.11).cos()).collect();
+        let cfg = GmresConfig {
+            rtol: 1e-6,
+            max_iters: 200,
+            ..Default::default()
+        };
+        let pool = ThreadPool::new(1);
+        let (r, _) = solve_mode(&a, &IdentityPrecond(n), &b, cfg, GmresExec::Auto(&pool));
+        assert_eq!(r.exec, "serial");
     }
 
     #[test]

@@ -27,6 +27,7 @@
 
 pub mod gmres;
 pub mod op;
+pub mod policy;
 pub mod precond;
 pub mod ptc;
 pub mod team;
@@ -34,5 +35,6 @@ pub mod vecops;
 
 pub use gmres::{Gmres, GmresConfig, GmresExec, GmresOutcome, GmresResult};
 pub use op::{FdJacobian, LinearOperator, ShiftedOperator};
+pub use policy::{AutoPolicy, ExecMode};
 pub use precond::{BlockJacobiIlu, IdentityPrecond, IluApply, Preconditioner, SerialIlu};
 pub use ptc::{PtcConfig, PtcProblem, PtcStats};

@@ -1,0 +1,298 @@
+//! Adaptive execution-policy chooser for the linear solver.
+//!
+//! The thread-scaling inversion this fixes: `optimized(nt)` used to
+//! hard-code persistent-region (team) execution whenever `nt > 1`, so on
+//! meshes too small to amortize region-launch and barrier cost the
+//! "optimized" configuration ran *slower* than serial — the opposite of
+//! the paper's thesis, certified by the perf gate. The chooser models a
+//! GMRES iteration the same way FASTEST-3D picks its node-level execution
+//! scheme: memory-bound work time from the `crates/machine` bandwidth
+//! ramp, synchronization time from the *measured* region-launch and
+//! barrier-phase costs (`fun3d_threads::SyncCosts`), and picks whichever
+//! of Serial / PerOp / Team minimizes the modeled iteration time.
+//!
+//! `FUN3D_EXEC=serial|per-op|team|auto` overrides whatever the
+//! application configured (read where the solve is launched, see
+//! [`ExecMode::from_env`]).
+
+use fun3d_machine::MachineSpec;
+use fun3d_threads::{SyncCosts, ThreadPool};
+use std::sync::Mutex;
+
+/// Solver execution scheme, as configured (Auto resolves to one of the
+/// three concrete schemes per solve).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExecMode {
+    /// Single-threaded vector ops.
+    Serial,
+    /// Region-per-op threading.
+    PerOp,
+    /// Persistent SPMD regions (one region per Arnoldi iteration).
+    Team,
+    /// Pick Serial / PerOp / Team per solve from the machine model plus
+    /// measured sync costs.
+    Auto,
+}
+
+impl ExecMode {
+    /// Canonical name (the form [`ExecMode::parse`] accepts).
+    pub fn name(self) -> &'static str {
+        match self {
+            ExecMode::Serial => "serial",
+            ExecMode::PerOp => "per-op",
+            ExecMode::Team => "team",
+            ExecMode::Auto => "auto",
+        }
+    }
+
+    /// Parses `serial|per-op|team|auto` (also accepts `perop`/`per_op`).
+    pub fn parse(s: &str) -> Option<ExecMode> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "serial" => Some(ExecMode::Serial),
+            "per-op" | "perop" | "per_op" => Some(ExecMode::PerOp),
+            "team" => Some(ExecMode::Team),
+            "auto" => Some(ExecMode::Auto),
+            _ => None,
+        }
+    }
+
+    /// The `FUN3D_EXEC` override, if set and valid.
+    pub fn from_env() -> Option<ExecMode> {
+        std::env::var("FUN3D_EXEC").ok().and_then(|v| ExecMode::parse(&v))
+    }
+}
+
+/// Regions a region-per-op GMRES iteration launches (SpMV + bsub + mdot
+/// + maxpy + norm + div, preconditioner sweeps riding along): measured
+/// ~7.3–7.9 on the gated meshes; the model rounds up.
+pub const PER_OP_REGIONS_PER_ITER: f64 = 8.0;
+/// Regions a persistent-region iteration launches (one per Arnoldi step
+/// plus the amortized cycle-start and solution-update regions).
+pub const TEAM_REGIONS_PER_ITER: f64 = 1.25;
+/// Barrier phases inside one persistent-region Arnoldi iteration
+/// (operator, preconditioner, reduction, and basis-update phases).
+pub const TEAM_BARRIERS_PER_ITER: f64 = 6.0;
+/// Default memory traffic per unknown per GMRES iteration, bytes:
+/// basis-vector reads in CGS plus SpMV/preconditioner sweeps. Calibrated
+/// against the medium-mesh ablation (37 ms/iter at ~102k unknowns on a
+/// ~3.5 GB/s single-core share); override the field for other kernels.
+pub const WORK_BYTES_PER_UNKNOWN: f64 = 1200.0;
+/// A parallel scheme must beat serial by this factor to be chosen
+/// (hysteresis: near the crossover, prefer the simple scheme).
+pub const PARALLEL_MARGIN: f64 = 1.1;
+
+/// The decision function: machine model + measured sync costs.
+#[derive(Clone, Copy, Debug)]
+pub struct AutoPolicy {
+    /// Bandwidth ramp / core counts.
+    pub machine: MachineSpec,
+    /// Measured wall cost of one empty pool region (launch + join).
+    pub region_launch_s: f64,
+    /// Measured wall cost of one barrier phase.
+    pub barrier_phase_s: f64,
+    /// Cores the process can actually use (affinity/cgroup aware);
+    /// threads beyond this share cores and cannot add bandwidth.
+    pub effective_cores: usize,
+    /// Modeled memory traffic per unknown per iteration, bytes.
+    pub work_bytes_per_unknown: f64,
+}
+
+impl AutoPolicy {
+    /// A policy from explicit parts (tests drive this with synthetic
+    /// machines and sync costs).
+    pub fn from_parts(
+        machine: MachineSpec,
+        region_launch_s: f64,
+        barrier_phase_s: f64,
+    ) -> AutoPolicy {
+        AutoPolicy {
+            machine,
+            region_launch_s,
+            barrier_phase_s,
+            effective_cores: machine.cores,
+            work_bytes_per_unknown: WORK_BYTES_PER_UNKNOWN,
+        }
+    }
+
+    /// A policy for the running machine and a live pool: host spec plus
+    /// the calibration probe's measured sync costs. The probe result is
+    /// cached per pool size, so repeated solves pay it once.
+    pub fn for_pool(pool: &ThreadPool) -> AutoPolicy {
+        let costs = cached_sync_costs(pool);
+        AutoPolicy::from_parts(MachineSpec::host(), costs.region_launch_s, costs.barrier_phase_s)
+    }
+
+    /// Modeled seconds of memory-bound work per iteration at `threads`
+    /// active cores.
+    fn work_s(&self, unknowns: usize, threads: usize) -> f64 {
+        self.work_bytes_per_unknown * unknowns as f64
+            / (self.machine.bandwidth_at(threads) * 1e9)
+    }
+
+    /// Modeled per-iteration synchronization cost of each parallel
+    /// scheme, seconds: (per-op, team).
+    fn sync_s(&self) -> (f64, f64) {
+        let per_op = PER_OP_REGIONS_PER_ITER * self.region_launch_s;
+        let team = TEAM_REGIONS_PER_ITER * self.region_launch_s
+            + TEAM_BARRIERS_PER_ITER * self.barrier_phase_s;
+        (per_op, team)
+    }
+
+    /// Picks the execution scheme for a solve of `unknowns` unknowns on
+    /// an `nt`-worker pool. Never returns [`ExecMode::Auto`].
+    pub fn choose(&self, unknowns: usize, nt: usize) -> ExecMode {
+        let nt_eff = nt.min(self.effective_cores);
+        if nt <= 1 || nt_eff <= 1 {
+            // Threads beyond the usable cores only add sync cost: with
+            // one effective core there is no bandwidth to win, so the
+            // inversion case (threads slower than serial) is excluded by
+            // construction.
+            return ExecMode::Serial;
+        }
+        let serial = self.work_s(unknowns, 1);
+        let par_work = self.work_s(unknowns, nt_eff);
+        let (sync_per_op, sync_team) = self.sync_s();
+        let per_op = par_work + sync_per_op;
+        let team = par_work + sync_team;
+        let (best, best_t) = if team <= per_op {
+            (ExecMode::Team, team)
+        } else {
+            (ExecMode::PerOp, per_op)
+        };
+        if best_t * PARALLEL_MARGIN < serial {
+            best
+        } else {
+            ExecMode::Serial
+        }
+    }
+
+    /// The problem size (unknowns) above which the best parallel scheme
+    /// beats serial at `nt` threads, or `None` when it never does (e.g.
+    /// one effective core: the bandwidth ramp is flat, so the sync cost
+    /// is never amortized). Solves `m·(work(n)/ramp + sync) =
+    /// work(n)` for `n` — both sides are linear in `n`.
+    pub fn crossover_unknowns(&self, nt: usize) -> Option<usize> {
+        let nt_eff = nt.min(self.effective_cores);
+        if nt <= 1 || nt_eff <= 1 {
+            return None;
+        }
+        let c = self.work_bytes_per_unknown;
+        let bw1 = self.machine.bandwidth_at(1) * 1e9;
+        let bwt = self.machine.bandwidth_at(nt_eff) * 1e9;
+        let (sync_per_op, sync_team) = self.sync_s();
+        let sync = sync_per_op.min(sync_team);
+        let denom = c * (1.0 / bw1 - PARALLEL_MARGIN / bwt);
+        if denom <= 0.0 {
+            return None;
+        }
+        Some((PARALLEL_MARGIN * sync / denom).ceil() as usize)
+    }
+}
+
+/// Calibration-probe results, cached per pool size: sync costs depend on
+/// the worker count (and the machine), not on the specific pool.
+fn cached_sync_costs(pool: &ThreadPool) -> SyncCosts {
+    static CACHE: Mutex<Vec<(usize, SyncCosts)>> = Mutex::new(Vec::new());
+    let mut cache = CACHE.lock().unwrap();
+    if let Some((_, c)) = cache.iter().find(|(sz, _)| *sz == pool.size()) {
+        return *c;
+    }
+    let c = SyncCosts::measure(pool);
+    cache.push((pool.size(), c));
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A synthetic 10-core machine with sync costs big enough that the
+    /// tiny fixture sits below the crossover: the regime the chooser has
+    /// to get right.
+    fn policy(region_launch_s: f64, barrier_phase_s: f64) -> AutoPolicy {
+        AutoPolicy::from_parts(MachineSpec::xeon_e5_2690v2(), region_launch_s, barrier_phase_s)
+    }
+
+    #[test]
+    fn tiny_problems_run_serial() {
+        let p = policy(100e-6, 20e-6);
+        assert_eq!(p.choose(700, 4), ExecMode::Serial);
+        assert_eq!(p.choose(700, 2), ExecMode::Serial);
+        // and trivially at one thread
+        assert_eq!(p.choose(700, 1), ExecMode::Serial);
+    }
+
+    #[test]
+    fn large_problems_run_team() {
+        let p = policy(100e-6, 20e-6);
+        // barrier phases are cheap relative to 8 launches per iteration,
+        // so the persistent-region scheme wins once parallelism pays.
+        assert_eq!(p.choose(361_608, 4), ExecMode::Team);
+        assert_eq!(p.choose(1_000_000, 8), ExecMode::Team);
+    }
+
+    #[test]
+    fn per_op_team_crossover_at_modeled_ratio() {
+        // Team sync = 1.25·L + 6·B, per-op sync = 8·L: team wins iff
+        // B < (8 − 1.25)/6 · L = 1.125·L. Probe both sides of the ratio
+        // at a size where parallelism clearly pays.
+        let n = 500_000;
+        let l = 50e-6;
+        let cheap_barrier = policy(l, 0.5 * l);
+        assert_eq!(cheap_barrier.choose(n, 4), ExecMode::Team);
+        let dear_barrier = policy(l, 2.0 * l);
+        assert_eq!(dear_barrier.choose(n, 4), ExecMode::PerOp);
+    }
+
+    #[test]
+    fn one_effective_core_is_always_serial() {
+        let mut p = policy(20e-6, 2e-6);
+        p.effective_cores = 1;
+        for n in [700usize, 26_000, 361_608, 10_000_000] {
+            for nt in [2usize, 4, 8] {
+                assert_eq!(p.choose(n, nt), ExecMode::Serial, "n={n} nt={nt}");
+            }
+            assert_eq!(p.crossover_unknowns(4), None);
+        }
+    }
+
+    #[test]
+    fn crossover_matches_choose_flip() {
+        let p = policy(100e-6, 20e-6);
+        for nt in [2usize, 4] {
+            let n = p.crossover_unknowns(nt).expect("multi-core: crossover exists");
+            assert!(n > 0);
+            // Just below: serial. At/above: parallel.
+            assert_eq!(p.choose(n.saturating_sub(2).max(1), nt), ExecMode::Serial, "nt={nt}");
+            assert_ne!(p.choose(n + 1, nt), ExecMode::Serial, "nt={nt}");
+        }
+    }
+
+    #[test]
+    fn tiny_below_crossover_large_above() {
+        let p = policy(100e-6, 20e-6);
+        let n = p.crossover_unknowns(4).unwrap();
+        assert!(n > 700, "tiny (700 unknowns) must sit below the crossover ({n})");
+        assert!(n < 361_608, "large (361k unknowns) must sit above the crossover ({n})");
+    }
+
+    #[test]
+    fn mode_names_round_trip() {
+        for m in [ExecMode::Serial, ExecMode::PerOp, ExecMode::Team, ExecMode::Auto] {
+            assert_eq!(ExecMode::parse(m.name()), Some(m));
+        }
+        assert_eq!(ExecMode::parse("PER_OP"), Some(ExecMode::PerOp));
+        assert_eq!(ExecMode::parse("nope"), None);
+    }
+
+    #[test]
+    fn for_pool_measures_and_caches() {
+        let pool = ThreadPool::new(2);
+        let p1 = AutoPolicy::for_pool(&pool);
+        assert!(p1.region_launch_s > 0.0 && p1.barrier_phase_s > 0.0);
+        // Second call must hit the cache (identical numbers).
+        let p2 = AutoPolicy::for_pool(&pool);
+        assert_eq!(p1.region_launch_s.to_bits(), p2.region_launch_s.to_bits());
+        assert_eq!(p1.barrier_phase_s.to_bits(), p2.barrier_phase_s.to_bits());
+    }
+}

@@ -9,6 +9,7 @@
 
 use crate::gmres::{Gmres, GmresConfig, GmresExec};
 use crate::op::FdJacobian;
+use crate::policy::ExecMode;
 use crate::precond::Preconditioner;
 use crate::vecops;
 use fun3d_threads::ThreadPool;
@@ -44,12 +45,15 @@ pub trait PtcProblem {
         None
     }
 
-    /// When true (and a pool is available), GMRES runs in persistent-
-    /// SPMD-region mode: one region per Arnoldi iteration instead of one
-    /// per vector op. The FD Jacobian is matrix-free and launches its own
-    /// regions, so the operator apply stays between regions (hybrid).
-    fn team_regions(&self) -> bool {
-        false
+    /// How GMRES executes when a pool is available: region-per-op,
+    /// persistent SPMD regions (one region per Arnoldi iteration — the
+    /// FD Jacobian is matrix-free and launches its own regions, so the
+    /// operator apply stays between regions, hybrid mode), or
+    /// [`ExecMode::Auto`] to pick per solve from the machine model plus
+    /// measured sync costs. Ignored without a pool (always serial).
+    /// `FUN3D_EXEC=serial|per-op|team|auto` overrides this at run time.
+    fn exec_mode(&self) -> ExecMode {
+        ExecMode::PerOp
     }
 }
 
@@ -114,7 +118,8 @@ pub fn solve(problem: &mut dyn PtcProblem, u: &mut [f64], config: &PtcConfig) ->
     let mut delta = vec![0.0; n];
     let mut gmres = Gmres::new(n, config.gmres);
     let pool = problem.solver_pool();
-    let team = problem.team_regions();
+    // `FUN3D_EXEC` wins over the application's configuration.
+    let mode = ExecMode::from_env().unwrap_or_else(|| problem.exec_mode());
 
     problem.residual(u, &mut r);
     let res0 = vecops::norm2(&r);
@@ -164,10 +169,11 @@ pub fn solve(problem: &mut dyn PtcProblem, u: &mut [f64], config: &PtcConfig) ->
                 };
                 let jac = FdJacobian::new(residual_fn, u, &r, &shift);
                 let _gmres_span = telemetry::span("ptc.gmres");
-                let exec = match pool.as_deref() {
-                    None => GmresExec::Serial,
-                    Some(p) if team => GmresExec::Team(p),
-                    Some(p) => GmresExec::PerOp(p),
+                let exec = match (pool.as_deref(), mode) {
+                    (None, _) | (Some(_), ExecMode::Serial) => GmresExec::Serial,
+                    (Some(p), ExecMode::PerOp) => GmresExec::PerOp(p),
+                    (Some(p), ExecMode::Team) => GmresExec::Team(p),
+                    (Some(p), ExecMode::Auto) => GmresExec::Auto(p),
                 };
                 gmres.solve_with(&jac, problem.preconditioner(), &rhs, &mut delta, exec)
             };

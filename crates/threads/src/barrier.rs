@@ -16,19 +16,85 @@ pub struct SpinBarrier {
     sense: AtomicBool,
     crossings: AtomicU64,
     parties: usize,
+    /// Pace tracking for the adaptive waiter nap (real builds only; the
+    /// model checker sees the pure spin protocol). The leader stamps each
+    /// crossing with nanoseconds since construction; the EWMA of the
+    /// inter-crossing interval sizes the nap a late waiter may take, so a
+    /// descheduled party costs at most ~1/8 of a phase in extra latency
+    /// instead of a yield storm on an oversubscribed core.
+    #[cfg(not(fun3d_check))]
+    origin: std::time::Instant,
+    #[cfg(not(fun3d_check))]
+    last_cross_ns: std::sync::atomic::AtomicU64,
+    #[cfg(not(fun3d_check))]
+    pace_ns: std::sync::atomic::AtomicU64,
+    #[cfg(not(fun3d_check))]
+    adaptive: bool,
 }
 
 impl SpinBarrier {
-    /// Creates a barrier for `parties` threads (`parties >= 1`).
+    /// Creates a barrier for `parties` threads (`parties >= 1`), with
+    /// the adaptive nap defaulted from `FUN3D_ADAPTIVE_SPIN`.
     pub fn new(parties: usize) -> Self {
+        Self::with_adaptive(parties, crate::adaptive_spin_default())
+    }
+
+    /// Creates a barrier with the adaptive waiter nap explicitly on or
+    /// off (construction-time so tests can compare both in one process).
+    pub fn with_adaptive(parties: usize, adaptive: bool) -> Self {
+        #[cfg(fun3d_check)]
+        let _ = adaptive;
         assert!(parties >= 1);
         SpinBarrier {
             count: AtomicUsize::new(0),
             sense: AtomicBool::new(false),
             crossings: AtomicU64::new(0),
             parties,
+            #[cfg(not(fun3d_check))]
+            origin: std::time::Instant::now(),
+            #[cfg(not(fun3d_check))]
+            last_cross_ns: std::sync::atomic::AtomicU64::new(0),
+            #[cfg(not(fun3d_check))]
+            pace_ns: std::sync::atomic::AtomicU64::new(0),
+            #[cfg(not(fun3d_check))]
+            adaptive,
         }
     }
+
+    /// Current inter-crossing pace estimate, ns (0 = none yet; model
+    /// builds always report 0).
+    pub fn pace_ns(&self) -> u64 {
+        #[cfg(not(fun3d_check))]
+        {
+            self.pace_ns.load(Ordering::Relaxed)
+        }
+        #[cfg(fun3d_check)]
+        {
+            0
+        }
+    }
+
+    /// Leader-only: fold the interval since the previous crossing into
+    /// the pace estimate. No-op in model builds.
+    #[cfg(not(fun3d_check))]
+    fn note_crossing(&self) {
+        let now = self.origin.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        // Relaxed swap: only the (unique) leader of a phase writes here.
+        let last = self.last_cross_ns.swap(now, Ordering::Relaxed);
+        if last == 0 || now <= last {
+            return;
+        }
+        let d = now - last;
+        // Discard outliers (an idle gap between solves is not a phase).
+        if d > 10_000_000 {
+            return;
+        }
+        let old = self.pace_ns.load(Ordering::Relaxed);
+        let new = if old == 0 { d } else { (3 * old + d) / 4 };
+        self.pace_ns.store(new.max(1), Ordering::Relaxed);
+    }
+    #[cfg(fun3d_check)]
+    fn note_crossing(&self) {}
 
     /// Number of participating threads.
     pub fn parties(&self) -> usize {
@@ -63,6 +129,7 @@ impl SpinBarrier {
             self.count.store(0, Ordering::Relaxed);
             // Relaxed: monotonic stat, read casually via `crossings()`.
             self.crossings.fetch_add(1, Ordering::Relaxed);
+            self.note_crossing();
             // Release: publishes the closing arriver's accumulated view
             // (count RMW chain) — and the count reset — to every waiter's
             // Acquire sense load; this is the edge that makes data
@@ -89,6 +156,20 @@ impl SpinBarrier {
                     // single core) pure spinning livelocks; yield lets the
                     // remaining parties run.
                     yield_now();
+                    // Past a few hundred waits the phase is clearly
+                    // stalled on a descheduled party: nap for ~1/8 of the
+                    // observed phase pace instead of a yield storm, so
+                    // the party holding the work gets the core. Real
+                    // builds only; bounded so a bad pace estimate costs
+                    // at most 100 us per wait.
+                    #[cfg(not(fun3d_check))]
+                    if self.adaptive && spins >= 256 {
+                        let pace = self.pace_ns.load(Ordering::Relaxed);
+                        if pace > 0 {
+                            let nap = (pace / 8).clamp(1_000, 100_000);
+                            std::thread::sleep(std::time::Duration::from_nanos(nap));
+                        }
+                    }
                 } else {
                     spin_hint();
                 }

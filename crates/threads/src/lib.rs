@@ -25,13 +25,15 @@ pub mod atomicf64;
 pub mod barrier;
 pub mod p2p;
 pub mod pool;
+pub mod probe;
 pub mod sync_shim;
 pub mod team;
 
 pub use atomicf64::AtomicF64View;
 pub use barrier::SpinBarrier;
 pub use p2p::DoneFlags;
-pub use pool::{Bell, JobPtr, ThreadPool};
+pub use pool::{adaptive_spin_default, Bell, JobPtr, ThreadPool};
+pub use probe::SyncCosts;
 pub use team::{Team, TeamMember, TeamSlice, TreeReduce};
 
 /// Splits `0..n` into `nthreads` near-equal contiguous chunks and returns

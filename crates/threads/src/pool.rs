@@ -49,6 +49,21 @@ pub struct Bell {
     /// epoch bump, read by workers strictly after observing it.
     job: ShimCell<Option<JobPtr>>,
     size: usize,
+    /// EWMA of recent region wall durations, nanoseconds (0 = no
+    /// observation yet). Plain std atomic, not a shim type: it is a
+    /// statistic that only tunes backoff, never part of the protocol the
+    /// model checker explores.
+    pace_ns: AtomicU64,
+    /// Idle-wait statistics (yields / naps burned in `worker_wait`),
+    /// exposed so the adaptive-backoff regression test can observe the
+    /// spin budget actually spent.
+    idle_yields: AtomicU64,
+    idle_naps: AtomicU64,
+    /// Scale the wait ladder to `pace_ns` (default; `FUN3D_ADAPTIVE_SPIN=off`
+    /// pins the pre-adaptive fixed ladder). Only consulted by the real
+    /// ladder, hence unused in model builds.
+    #[cfg_attr(fun3d_check, allow(dead_code))]
+    adaptive: bool,
 }
 
 // SAFETY: `job` is only written by the launcher while no region is in
@@ -59,8 +74,15 @@ unsafe impl Sync for Bell {}
 unsafe impl Send for Bell {}
 
 impl Bell {
-    /// A doorbell coordinating one launcher with `size` workers.
+    /// A doorbell coordinating one launcher with `size` workers, with
+    /// the adaptive backoff default taken from `FUN3D_ADAPTIVE_SPIN`.
     pub fn new(size: usize) -> Bell {
+        Bell::with_adaptive(size, adaptive_spin_default())
+    }
+
+    /// A doorbell with the adaptive backoff explicitly on or off
+    /// (construction-time so tests can compare both in one process).
+    pub fn with_adaptive(size: usize, adaptive: bool) -> Bell {
         assert!(size >= 1);
         Bell {
             epoch: AtomicUsize::new(0),
@@ -70,7 +92,36 @@ impl Bell {
             shutdown: AtomicBool::new(false),
             job: ShimCell::new(None),
             size,
+            pace_ns: AtomicU64::new(0),
+            idle_yields: AtomicU64::new(0),
+            idle_naps: AtomicU64::new(0),
+            adaptive,
         }
+    }
+
+    /// Launcher: folds an observed region wall duration into the pace
+    /// estimate that sizes the workers' wait ladder.
+    pub fn note_region_ns(&self, ns: u64) {
+        // Relaxed: single-writer statistic (the launcher), racy readers
+        // only use it to pick a backoff tier.
+        let old = self.pace_ns.load(Ordering::Relaxed);
+        let new = if old == 0 { ns } else { (3 * old + ns) / 4 };
+        self.pace_ns.store(new.max(1), Ordering::Relaxed);
+    }
+
+    /// Current region-pace estimate, nanoseconds (0 = none yet).
+    pub fn pace_ns(&self) -> u64 {
+        self.pace_ns.load(Ordering::Relaxed)
+    }
+
+    /// Yields burned by workers waiting for a doorbell ring.
+    pub fn idle_yields(&self) -> u64 {
+        self.idle_yields.load(Ordering::Relaxed)
+    }
+
+    /// Naps taken by workers waiting for a doorbell ring.
+    pub fn idle_naps(&self) -> u64 {
+        self.idle_naps.load(Ordering::Relaxed)
     }
 
     /// Worker count this bell coordinates.
@@ -145,9 +196,66 @@ impl Bell {
             if e != my_epoch || self.shutdown.load(Ordering::Acquire) {
                 return e;
             }
-            backoff(waits);
+            self.idle_backoff(waits);
             waits = waits.wrapping_add(1);
         }
+    }
+
+    /// One step of the worker wait ladder: spin, then yield, then nap.
+    ///
+    /// Model builds route every tier through the checker's spin hint.
+    /// Real builds size the yield budget and the nap length to the
+    /// observed region pace: when regions are microseconds long, a worker
+    /// that burned a *fixed* multi-thousand-yield budget per phase was
+    /// the dominant cost of nt>1 on small meshes (each yield is a
+    /// scheduler round trip stolen from the thread doing real work), so
+    /// the ladder now spends at most ~one region-duration yielding before
+    /// it starts napping, and nap lengths grow geometrically so long idle
+    /// gaps cost few wakeups.
+    #[cfg(fun3d_check)]
+    fn idle_backoff(&self, _waits: u32) {
+        // Inside a model the hint deschedules the virtual thread; outside
+        // one (ordinary tests compiled with the cfg) yielding avoids
+        // pure-spin livelock on an oversubscribed box.
+        yield_now();
+    }
+
+    #[cfg(not(fun3d_check))]
+    fn idle_backoff(&self, waits: u32) {
+        const SPIN: u32 = 64;
+        if waits < SPIN {
+            std::hint::spin_loop();
+            return;
+        }
+        let pace = if self.adaptive { self.pace_ns.load(Ordering::Relaxed) } else { 0 };
+        if pace == 0 {
+            // Adaptivity off, or no region observed yet: the fixed
+            // pre-adaptive ladder (spin, 4k yields, 100 us naps).
+            if waits < 4096 {
+                self.idle_yields.fetch_add(1, Ordering::Relaxed);
+                std::thread::yield_now();
+            } else {
+                self.idle_naps.fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(std::time::Duration::from_micros(100));
+            }
+            return;
+        }
+        // Yield budget: burn at most ~a quarter of the region's own
+        // duration yielding before the first nap (a yield costs on the
+        // order of a microsecond once the runqueue has company).
+        let budget = SPIN + (pace / 2000).clamp(16, 2048) as u32;
+        if waits < budget {
+            self.idle_yields.fetch_add(1, Ordering::Relaxed);
+            std::thread::yield_now();
+            return;
+        }
+        // Progressive nap: start proportional to the pace (so a sleeping
+        // worker costs the region at most ~1/8 of its own duration in
+        // latency) and double toward 1 ms for long idle gaps.
+        let base = (pace / 8).clamp(2_000, 100_000);
+        let nap = (base << (waits - budget).min(8)).min(1_000_000);
+        self.idle_naps.fetch_add(1, Ordering::Relaxed);
+        std::thread::sleep(std::time::Duration::from_nanos(nap));
     }
 
     /// True once shutdown has been rung.
@@ -195,37 +303,27 @@ pub struct ThreadPool {
     size: usize,
 }
 
-/// Spin-then-yield-then-nap wait. Pure spinning livelocks on an
-/// oversubscribed machine (this container has a single core), and pure
-/// yielding burns a core while the pool is idle between solves; the nap
-/// caps idle burn at ~10k wakeups/s while keeping worst-case region
-/// latency at the nap length. Model builds route every tier through the
-/// checker's spin hint so the scheduler can deschedule the spinner.
-#[inline]
-fn backoff(waits: u32) {
-    #[cfg(fun3d_check)]
-    {
-        // Inside a model both hints deschedule the virtual thread
-        // identically; outside one (ordinary tests compiled with the cfg)
-        // yielding avoids pure-spin livelock on an oversubscribed box.
-        let _ = waits;
-        yield_now();
-    }
-    #[cfg(not(fun3d_check))]
-    if waits < 64 {
-        std::hint::spin_loop();
-    } else if waits < 4096 {
-        std::thread::yield_now();
-    } else {
-        std::thread::sleep(std::time::Duration::from_micros(100));
+/// `FUN3D_ADAPTIVE_SPIN=off` (or `0`/`no`) pins the fixed pre-adaptive
+/// wait ladder; anything else (including unset) scales the ladder to the
+/// observed region pace.
+pub fn adaptive_spin_default() -> bool {
+    match std::env::var("FUN3D_ADAPTIVE_SPIN") {
+        Ok(v) => !matches!(v.trim().to_ascii_lowercase().as_str(), "off" | "0" | "no"),
+        Err(_) => true,
     }
 }
 
 impl ThreadPool {
-    /// Spawns a pool with `size` workers (`size >= 1`).
+    /// Spawns a pool with `size` workers (`size >= 1`), adaptive backoff
+    /// defaulted from `FUN3D_ADAPTIVE_SPIN`.
     pub fn new(size: usize) -> Self {
+        Self::with_adaptive(size, adaptive_spin_default())
+    }
+
+    /// Spawns a pool with the adaptive wait ladder explicitly on or off.
+    pub fn with_adaptive(size: usize, adaptive: bool) -> Self {
         assert!(size >= 1, "thread pool needs at least one worker");
-        let bell = Arc::new(Bell::new(size));
+        let bell = Arc::new(Bell::with_adaptive(size, adaptive));
         let pin = pinning_enabled();
         let ncores = std::thread::available_parallelism()
             .map(|n| n.get())
@@ -267,6 +365,21 @@ impl ThreadPool {
         self.regions.load(Ordering::Relaxed)
     }
 
+    /// Yields workers burned waiting for regions (see [`Bell::idle_yields`]).
+    pub fn idle_yields(&self) -> u64 {
+        self.bell.idle_yields()
+    }
+
+    /// Naps workers took waiting for regions (see [`Bell::idle_naps`]).
+    pub fn idle_naps(&self) -> u64 {
+        self.bell.idle_naps()
+    }
+
+    /// Current region-pace estimate driving the wait ladder, ns.
+    pub fn pace_ns(&self) -> u64 {
+        self.bell.pace_ns()
+    }
+
     /// Runs `f(tid)` on every worker and blocks until all have returned.
     ///
     /// The closure may borrow stack data: `run` does not return until
@@ -291,8 +404,12 @@ impl ThreadPool {
         // closure is in flight, so the pointee outlives all calls.
         let wide: &(dyn Fn(usize) + Sync) = &f;
         let job: JobPtr = unsafe { std::mem::transmute(wide) };
+        let t0 = std::time::Instant::now();
         bell.post(job);
         bell.wait_workers();
+        // Launch-to-retire wall time is the pace that sizes the workers'
+        // wait ladder for the *next* region.
+        bell.note_region_ns(t0.elapsed().as_nanos().min(u64::MAX as u128) as u64);
         if bell.retire() {
             panic!("a pool worker panicked inside ThreadPool::run");
         }

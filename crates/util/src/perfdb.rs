@@ -9,8 +9,10 @@
 //! robust threshold. The `perf_regress` binary wraps this as a CI gate
 //! (`FUN3D_PERF_GATE=off|soft|hard`).
 //!
-//! Conventions: every metric is **lower-is-better** (seconds per
-//! iteration, regions per iteration, wall seconds). The threshold is
+//! Conventions: metrics are **lower-is-better** (seconds per
+//! iteration, regions per iteration, wall seconds), except metrics
+//! whose name contains `speedup`, which are **higher-is-better**
+//! (speedup-vs-threads ratios from the scaling study). The threshold is
 //! `max(nmads · 1.4826 · MAD, rel_floor · median)` — the MAD term
 //! adapts to each metric's observed noise, the relative floor keeps a
 //! zero-MAD baseline (identical snapshots) from flagging microscopic
@@ -192,10 +194,17 @@ pub struct Verdict {
     pub n_baseline: usize,
     /// Baseline was deep enough to judge at all.
     pub judged: bool,
-    /// Lower-is-better metric moved up beyond the threshold.
+    /// Moved in the bad direction beyond the threshold (up for
+    /// lower-is-better metrics, down for `speedup` metrics).
     pub regressed: bool,
-    /// Moved down beyond the threshold (informational).
+    /// Moved in the good direction beyond the threshold (informational).
     pub improved: bool,
+}
+
+/// Metrics named `*speedup*` are ratios where bigger is better; every
+/// other metric is a cost where smaller is better.
+pub fn higher_is_better(metric: &str) -> bool {
+    metric.contains("speedup")
 }
 
 fn median_of(xs: &mut [f64]) -> f64 {
@@ -244,7 +253,12 @@ pub fn judge(entries: &[PerfEntry], cfg: &GateConfig) -> Vec<Verdict> {
             let mut devs: Vec<f64> = base.iter().map(|x| (x - median).abs()).collect();
             let mad = median_of(&mut devs);
             let threshold = (cfg.nmads * 1.4826 * mad).max(cfg.rel_floor * median.abs());
-            let delta = value - median;
+            // `delta > 0` means "moved in the bad direction".
+            let delta = if higher_is_better(name) {
+                median - value
+            } else {
+                value - median
+            };
             Verdict {
                 metric: name.clone(),
                 latest: *value,
@@ -450,6 +464,31 @@ mod tests {
             .find(|v| v.metric == "brand_new_metric")
             .unwrap();
         assert!(!v.judged && v.n_baseline == 0);
+    }
+
+    #[test]
+    fn speedup_metrics_are_higher_is_better() {
+        // A speedup falling from 1.5x to 0.6x is a regression even
+        // though the value went DOWN; rising to 3x is an improvement.
+        let base: Vec<PerfEntry> = (0..5)
+            .map(|i| entry(&format!("c{i}"), &[("large.speedup_nt4_vs_nt1", 1.5)]))
+            .collect();
+        let mut worse = base.clone();
+        worse.push(entry("bad", &[("large.speedup_nt4_vs_nt1", 0.6)]));
+        let v = &judge(&worse, &GateConfig::default())[0];
+        assert!(v.regressed && !v.improved, "{v:?}");
+        let mut better = base.clone();
+        better.push(entry("good", &[("large.speedup_nt4_vs_nt1", 3.0)]));
+        let v = &judge(&better, &GateConfig::default())[0];
+        assert!(v.improved && !v.regressed, "{v:?}");
+        // Cost metrics keep the original orientation.
+        let costs: Vec<PerfEntry> = (0..5)
+            .map(|i| entry(&format!("c{i}"), &[("team.s_iter@2t", 1.0)]))
+            .collect();
+        let mut slow = costs.clone();
+        slow.push(entry("bad", &[("team.s_iter@2t", 3.0)]));
+        let v = &judge(&slow, &GateConfig::default())[0];
+        assert!(v.regressed && !v.improved, "{v:?}");
     }
 
     #[test]

@@ -481,7 +481,13 @@ mod tests {
         let legal: [&[&str]; 4] = [&[], &["outer"], &["outer", "mid"], &["outer", "mid", "inner"]];
         let mut out = Vec::new();
         let mut seen_nonempty = false;
-        for _ in 0..20_000 {
+        // On a single hardware thread the writer may not be scheduled at
+        // all during a fixed read count, so read until we land inside
+        // the nest (yielding lets the writer run) with a wall deadline
+        // as the failure backstop.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        let mut reads = 0u64;
+        while reads < 20_000 || (!seen_nonempty && std::time::Instant::now() < deadline) {
             if slot.try_read(&mut out).is_some() {
                 assert!(
                     legal.contains(&out.as_slice()),
@@ -489,10 +495,13 @@ mod tests {
                 );
                 seen_nonempty |= !out.is_empty();
             }
+            reads += 1;
+            if reads % 512 == 0 {
+                std::thread::yield_now();
+            }
         }
         stop.store(true, StdOrdering::Relaxed);
         writer.join().unwrap();
-        // On any real scheduler the reader lands inside the nest often.
         assert!(seen_nonempty, "reader never saw an open span");
     }
 

@@ -1,22 +1,30 @@
 #!/usr/bin/env bash
-# Solver benchmark snapshot: runs the synchronization-cost ablation and
-# distills it into BENCH_solver.json at the repo root — median/MAD of the
-# per-GMRES-iteration wall time and regions launched per iteration, for
-# the region-per-op and persistent-region execution modes.
+# Solver benchmark snapshot: runs the synchronization-cost ablation
+# across the mesh-size trajectory (tiny → medium → large by default,
+# ~10³–10⁵·4 unknowns) and distills it into BENCH_solver.json at the
+# repo root — median/MAD of the per-GMRES-iteration wall time, regions
+# launched per iteration, and serial-anchored speedups for the serial /
+# region-per-op / persistent-region / adaptive execution modes.
 #
 # Every snapshot is ALSO appended (with commit/date/config provenance) to
 # the append-only BENCH_history.jsonl, which is what `perf_regress`
-# judges new runs against. BENCH_solver.json stays the latest-snapshot
-# view; the history file is the trajectory.
+# judges new runs against; the append step also evaluates the
+# speedup-vs-threads scaling rule on the fresh artifact (export
+# FUN3D_PERF_GATE=hard to make a scaling inversion fail this script).
+# BENCH_solver.json stays the latest-snapshot view; the history file is
+# the trajectory.
 #
-# Usage: scripts/bench_snapshot.sh [mesh] [reps]   (defaults: tiny 5)
+# Usage: scripts/bench_snapshot.sh [meshes] [reps] [threads]
+#        (defaults: tiny,medium,large 3 1,2,4)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-MESH="${1:-tiny}"
-REPS="${2:-5}"
+MESHES="${1:-tiny,medium,large}"
+REPS="${2:-3}"
+THREADS="${3:-1,2,4}"
 
-cargo run --release --offline -q -p fun3d-bench --bin sync_ablation -- --mesh "$MESH" --reps "$REPS"
+cargo run --release --offline -q -p fun3d-bench --bin sync_ablation -- \
+    --meshes "$MESHES" --reps "$REPS" --threads "$THREADS"
 
 ARTIFACT=target/experiments/sync_ablation.json
 if [ ! -f "$ARTIFACT" ]; then
@@ -39,12 +47,15 @@ DATE=$(date -u +%Y-%m-%dT%H:%M:%SZ)
 
 echo "[solver benchmark snapshot written to BENCH_solver.json]"
 
-# Append the distilled metrics to the performance history and judge the
-# new entry against the baseline window (soft gate by default; export
-# FUN3D_PERF_GATE=hard to make a regression fail this script).
+# Append the distilled metrics (one entry per snapshot, metric keys
+# qualified by mesh) to the performance history, evaluate the scaling
+# rule on the artifact, and judge the new entry against the baseline
+# window (soft gate by default; export FUN3D_PERF_GATE=hard to make a
+# regression or scaling inversion fail this script).
 cargo run --release --offline -q -p fun3d-bench --bin perf_regress -- \
     --append "$ARTIFACT" --history BENCH_history.jsonl \
-    --commit "$COMMIT" --date "$DATE" --config "mesh=$MESH" --config "reps=$REPS"
+    --commit "$COMMIT" --date "$DATE" \
+    --config "meshes=$MESHES" --config "reps=$REPS" --config "threads=$THREADS"
 cargo run --release --offline -q -p fun3d-bench --bin perf_regress -- \
     --history BENCH_history.jsonl
 

@@ -86,11 +86,15 @@ for artifact in target/experiments/perf_report.json \
 done
 echo "ok: telemetry artifacts present and parsable"
 
-echo "== sync_ablation on the tiny mesh (persistent-region solver) =="
-# Region-per-op vs persistent-region GMRES: the run itself asserts the
-# two paths are bitwise identical; --check validates the artifact and
-# the structural claim (regions/iteration collapses to ~1 in team mode).
-cargo run --release --offline -q -p fun3d-bench --bin sync_ablation -- --mesh tiny --reps 3
+echo "== sync_ablation across mesh sizes (execution-policy ablation) =="
+# Serial / region-per-op / persistent-region / adaptive GMRES on a
+# quick two-point size trajectory: the run itself asserts per-op and
+# team are bitwise identical and that auto matches whatever scheme it
+# selected; --check validates the artifact, the structural claim
+# (regions/iteration collapses to ~1 in team mode), and the per-mesh
+# scaling section (serial-anchored speedups + crossover verdicts).
+cargo run --release --offline -q -p fun3d-bench --bin sync_ablation -- \
+    --meshes tiny,small --reps 3
 if [ ! -f target/experiments/sync_ablation.json ]; then
     echo "FAIL: missing sync ablation artifact"
     exit 1
@@ -98,27 +102,32 @@ fi
 cargo run --release --offline -q -p fun3d-bench --bin sync_ablation -- --check target/experiments/sync_ablation.json
 echo "ok: sync ablation artifact present and parsable"
 
-echo "== perf history gate (perf_regress) =="
+echo "== perf history + scaling gate (perf_regress) =="
 # Detector self-check first: a synthetic history with an injected 3x
-# slowdown must be flagged, and under a hard gate that flag must turn
-# into a nonzero exit (negative canary, same idiom as the model-check
-# one above).
+# slowdown AND a synthetic mesh where threads run slower than serial
+# above the crossover (the thread-scaling inversion) must both be
+# flagged, and under a hard gate those flags must turn into a nonzero
+# exit (negative canary, same idiom as the model-check one above).
 cargo run --release --offline -q -p fun3d-bench --bin perf_regress -- --self-test
 if FUN3D_PERF_GATE=hard cargo run --release --offline -q -p fun3d-bench \
     --bin perf_regress -- --self-test >/dev/null 2>&1; then
-    echo "FAIL: hard gate did not fail on the injected slowdown"
+    echo "FAIL: hard gate did not fail on the injected slowdown/inversion canaries"
     exit 1
 fi
-echo "ok: perf_regress detects the injected slowdown and the hard gate fails on it"
+echo "ok: perf_regress detects the injected regressions and the hard gate fails on them"
 # Then the real pipeline on a throwaway history: three appends of the
 # ablation artifact just produced (identical entries — a flat baseline),
-# judged under both gates. Identical snapshots must never trip the gate.
+# judged under both gates. Identical snapshots must never trip the
+# gate, and the fresh snapshot must pass the scaling rule under a HARD
+# gate: above the crossover threads>1 must beat serial (on machines
+# where no crossover exists the rule is vacuous by construction —
+# parallel execution is never modeled to win, and Auto runs serial).
 PERF_HIST=target/experiments/verify_history.jsonl
 rm -f "$PERF_HIST"
 for i in 1 2 3; do
-    cargo run --release --offline -q -p fun3d-bench --bin perf_regress -- \
+    FUN3D_PERF_GATE=hard cargo run --release --offline -q -p fun3d-bench --bin perf_regress -- \
         --append target/experiments/sync_ablation.json --history "$PERF_HIST" \
-        --commit "verify-$i" --date "verify" --config mesh=tiny >/dev/null
+        --commit "verify-$i" --date "verify" --config meshes=tiny,small >/dev/null
 done
 cargo run --release --offline -q -p fun3d-bench --bin perf_regress -- --history "$PERF_HIST"
 FUN3D_PERF_GATE=hard cargo run --release --offline -q -p fun3d-bench \
