@@ -185,6 +185,63 @@ fn bench_telemetry_overhead(c: &mut Bench) {
     g.finish();
 }
 
+/// Flight-recorder overhead: the always-on claim. The same flux call
+/// emitting one flight event per invocation (a far higher event rate
+/// than the real per-step/per-solve sources) with the recorder enabled
+/// (the default) versus disabled, plus the raw cost of one `emit`. The
+/// on/off pair must stay within measurement noise — the acceptance
+/// criterion `crates/util/tests/flight_overhead.rs` gates.
+fn bench_flight_overhead(c: &mut Bench) {
+    use fun3d_util::telemetry::flight;
+    let (geom, node, _) = fixture();
+    let n4 = node.n * 4;
+    let mut g = c.group("flight");
+    g.sample_size(20);
+    flight::set_enabled(false);
+    g.bench_function("flux_flight_off", |b| {
+        b.iter_batched_ref(
+            || vec![0.0; n4],
+            |res| {
+                flight::emit(flight::EventKind::PtcStep {
+                    step: 1,
+                    res: 1.0,
+                    dt: 2.0,
+                    gmres_iters: 3,
+                });
+                flux::serial_aos(&geom, &node, 1.0, res)
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    flight::set_enabled(true);
+    g.bench_function("flux_flight_on", |b| {
+        b.iter_batched_ref(
+            || vec![0.0; n4],
+            |res| {
+                flight::emit(flight::EventKind::PtcStep {
+                    step: 1,
+                    res: 1.0,
+                    dt: 2.0,
+                    gmres_iters: 3,
+                });
+                flux::serial_aos(&geom, &node, 1.0, res)
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    g.bench_function("emit", |b| {
+        b.iter(|| {
+            flight::emit(flight::EventKind::PtcStep {
+                step: 1,
+                res: 1.0,
+                dt: 2.0,
+                gmres_iters: 3,
+            })
+        })
+    });
+    g.finish();
+}
+
 fn bench_sampler_overhead(c: &mut Bench) {
     // The claim behind always-on profiling: the slot publication a span
     // performs (seqlock push/pop) costs a few uncontended atomic stores,
@@ -247,6 +304,7 @@ fn main() {
     bench_spmv(&mut c);
     bench_vecops(&mut c);
     bench_telemetry_overhead(&mut c);
+    bench_flight_overhead(&mut c);
     bench_sampler_overhead(&mut c);
     bench_partitioner(&mut c);
     c.finish();

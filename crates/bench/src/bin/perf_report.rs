@@ -27,6 +27,7 @@ use fun3d_util::report::{experiments_dir, fmt_g, write_json, Table};
 use fun3d_util::telemetry::profile as profile_fmt;
 use fun3d_util::telemetry::roofline::{self, Deviation, Envelope};
 use fun3d_util::telemetry::sampler::{period_from_env, SampleProfile};
+use fun3d_util::telemetry::flight;
 use fun3d_util::telemetry::{self, json::Json, trace, Level, Sampler, Snapshot};
 
 struct Args {
@@ -133,9 +134,19 @@ fn check_artifact(path: &str) -> ! {
         }
         std::process::exit(1);
     }
-    for key in ["machine", "run", "kernels", "roofline", "threads", "convergence"] {
+    for key in ["machine", "run", "kernels", "roofline", "threads", "convergence", "exec"] {
         if doc.get(key).is_none() {
             problems.push(format!("missing key '{key}'"));
+        }
+    }
+    if let Some(exec) = doc.get("exec") {
+        // The scheme that actually ran must be concrete (Auto resolved).
+        match exec.get("mode").and_then(Json::as_str) {
+            Some("serial" | "per-op" | "team") => {}
+            _ => problems.push("'exec.mode' missing or not a concrete scheme".to_string()),
+        }
+        if exec.get("solve_id").and_then(Json::as_f64).is_none() {
+            problems.push("'exec.solve_id' missing".to_string());
         }
     }
     if let Some(kernels) = doc.get("kernels").and_then(Json::as_arr) {
@@ -480,6 +491,69 @@ fn main() {
         stats.time_steps, stats.linear_iters, run_secs
     );
 
+    // ---- (c') executed scheme + policy evidence (flight recorder) ----
+    // `stats.exec` is the scheme the last linear solve actually ran;
+    // under `ExecMode::Auto` the flight log holds the policy decision
+    // (modeled serial/parallel seconds, crossover) and the sync-cost
+    // calibration that produced it — the audit trail for WHY that
+    // scheme ran, not just which.
+    let flog = flight::snapshot();
+    let mut policy_json = Json::Null;
+    let mut probe_json = Json::Null;
+    for e in &flog.events {
+        match e.kind {
+            flight::EventKind::PolicyDecision {
+                chosen,
+                unknowns,
+                nt,
+                serial_s,
+                parallel_s,
+                crossover,
+            } if e.solve == stats.solve_id => {
+                policy_json = Json::obj(vec![
+                    ("chosen", Json::str(chosen.name())),
+                    ("unknowns", Json::num(unknowns as f64)),
+                    ("nt", Json::num(nt as f64)),
+                    ("serial_s", flight::json_f64(serial_s)),
+                    ("parallel_s", flight::json_f64(parallel_s)),
+                    (
+                        "crossover_unknowns",
+                        if crossover == flight::NO_CROSSOVER {
+                            Json::Null
+                        } else {
+                            Json::num(crossover as f64)
+                        },
+                    ),
+                ]);
+            }
+            flight::EventKind::SyncProbe {
+                pool_size,
+                region_launch_s,
+                barrier_phase_s,
+            } => {
+                probe_json = Json::obj(vec![
+                    ("pool_size", Json::num(pool_size as f64)),
+                    ("region_launch_s", flight::json_f64(region_launch_s)),
+                    ("barrier_phase_s", flight::json_f64(barrier_phase_s)),
+                ]);
+            }
+            _ => {}
+        }
+    }
+    println!(
+        "execution: scheme '{}' ran (solve {}, policy decision {}, sync probe {})",
+        stats.exec,
+        stats.solve_id,
+        if matches!(policy_json, Json::Null) { "absent" } else { "recorded" },
+        if matches!(probe_json, Json::Null) { "absent" } else { "recorded" },
+    );
+    let exec_json = Json::obj(vec![
+        ("mode", Json::str(stats.exec)),
+        ("solve_id", Json::num(stats.solve_id as f64)),
+        ("policy", policy_json),
+        ("sync_probe", probe_json),
+    ]);
+
     // ---- (d) machine-readable artifacts ----
     let dropped = snap.dropped_spans();
     if dropped > 0 {
@@ -516,6 +590,7 @@ fn main() {
                 ),
             ]),
         ),
+        ("exec", exec_json),
         ("kernels", Json::Arr(kernels_json)),
         (
             "roofline",

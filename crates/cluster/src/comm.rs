@@ -70,6 +70,10 @@ impl Universe {
                 let f = &f;
                 handles.push(scope.spawn(move || {
                     telemetry::set_thread_label(format!("rank-{rank}"));
+                    // Flight events from this thread carry the rank, so a
+                    // dump merges all ranks into one causally-ordered
+                    // record (ranks share the process telemetry epoch).
+                    telemetry::flight::set_rank(rank as u64);
                     f(Comm { rank, shared })
                 }));
             }
@@ -106,6 +110,10 @@ impl Comm {
         // Same counter vocabulary as the compute kernels: one message is
         // one item; the payload counts as bytes written by this rank.
         telemetry::record_kernel("comm.send", telemetry::KernelCounts::once(1, 0, bytes, 0));
+        telemetry::flight::emit(telemetry::flight::EventKind::CommSend {
+            peer: dst as u64,
+            bytes,
+        });
         self.shared.senders[self.rank * self.shared.size + dst]
             .send(Msg { tag, data })
             .expect("receiver alive");
@@ -133,6 +141,10 @@ impl Comm {
             "comm.recv",
             telemetry::KernelCounts::once(1, (msg.data.len() * 8) as u64, 0, 0),
         );
+        telemetry::flight::emit(telemetry::flight::EventKind::CommRecv {
+            peer: src as u64,
+            bytes: (msg.data.len() * 8) as u64,
+        });
         msg.data
     }
 

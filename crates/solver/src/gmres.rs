@@ -188,8 +188,10 @@ impl Gmres {
             GmresExec::PerOp(pool) => self.solve_seq(a, m, b, x, Some(pool)),
             GmresExec::Team(pool) => self.solve_team(a, m, b, x, pool),
             GmresExec::Auto(pool) => {
-                let mode = crate::policy::AutoPolicy::for_pool(pool).choose(b.len(), pool.size());
-                match mode {
+                let decision =
+                    crate::policy::AutoPolicy::for_pool(pool).decision(b.len(), pool.size());
+                decision.record(b.len(), pool.size());
+                match decision.mode {
                     crate::policy::ExecMode::Serial => self.solve_seq(a, m, b, x, None),
                     crate::policy::ExecMode::PerOp => self.solve_seq(a, m, b, x, Some(pool)),
                     _ => self.solve_team(a, m, b, x, pool),

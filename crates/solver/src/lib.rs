@@ -25,6 +25,7 @@
 //!   relaxation (Mulder & Van Leer [11]): `Δt` grows as the steady
 //!   residual falls, driving Newton to the steady state.
 
+pub mod anomaly;
 pub mod gmres;
 pub mod op;
 pub mod policy;
@@ -33,8 +34,9 @@ pub mod ptc;
 pub mod team;
 pub mod vecops;
 
+pub use anomaly::{Anomaly, AnomalyConfig, AnomalyDetector};
 pub use gmres::{Gmres, GmresConfig, GmresExec, GmresOutcome, GmresResult};
 pub use op::{FdJacobian, LinearOperator, ShiftedOperator};
-pub use policy::{AutoPolicy, ExecMode};
+pub use policy::{AutoPolicy, Decision, ExecMode};
 pub use precond::{BlockJacobiIlu, IdentityPrecond, IluApply, Preconditioner, SerialIlu};
 pub use ptc::{PtcConfig, PtcProblem, PtcStats};

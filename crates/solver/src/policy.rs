@@ -17,6 +17,7 @@
 
 use fun3d_machine::MachineSpec;
 use fun3d_threads::{SyncCosts, ThreadPool};
+use fun3d_util::telemetry::flight;
 use std::sync::Mutex;
 
 /// Solver execution scheme, as configured (Auto resolves to one of the
@@ -141,15 +142,26 @@ impl AutoPolicy {
     /// Picks the execution scheme for a solve of `unknowns` unknowns on
     /// an `nt`-worker pool. Never returns [`ExecMode::Auto`].
     pub fn choose(&self, unknowns: usize, nt: usize) -> ExecMode {
+        self.decision(unknowns, nt).mode
+    }
+
+    /// [`AutoPolicy::choose`] with the modeled inputs attached — what the
+    /// flight recorder logs so a dump explains *why* a scheme ran.
+    pub fn decision(&self, unknowns: usize, nt: usize) -> Decision {
+        let serial_s = self.work_s(unknowns, 1);
         let nt_eff = nt.min(self.effective_cores);
         if nt <= 1 || nt_eff <= 1 {
             // Threads beyond the usable cores only add sync cost: with
             // one effective core there is no bandwidth to win, so the
             // inversion case (threads slower than serial) is excluded by
             // construction.
-            return ExecMode::Serial;
+            return Decision {
+                mode: ExecMode::Serial,
+                serial_s,
+                parallel_s: f64::INFINITY,
+                crossover: None,
+            };
         }
-        let serial = self.work_s(unknowns, 1);
         let par_work = self.work_s(unknowns, nt_eff);
         let (sync_per_op, sync_team) = self.sync_s();
         let per_op = par_work + sync_per_op;
@@ -159,10 +171,16 @@ impl AutoPolicy {
         } else {
             (ExecMode::PerOp, per_op)
         };
-        if best_t * PARALLEL_MARGIN < serial {
+        let mode = if best_t * PARALLEL_MARGIN < serial_s {
             best
         } else {
             ExecMode::Serial
+        };
+        Decision {
+            mode,
+            serial_s,
+            parallel_s: best_t,
+            crossover: self.crossover_unknowns(nt),
         }
     }
 
@@ -189,6 +207,43 @@ impl AutoPolicy {
     }
 }
 
+/// A resolved policy choice with the modeled costs that produced it.
+#[derive(Clone, Copy, Debug)]
+pub struct Decision {
+    /// The concrete scheme (never [`ExecMode::Auto`]).
+    pub mode: ExecMode,
+    /// Modeled serial iteration seconds.
+    pub serial_s: f64,
+    /// Modeled best-parallel iteration seconds (work + sync; infinite
+    /// when parallelism is excluded by construction).
+    pub parallel_s: f64,
+    /// Modeled crossover size, when one exists.
+    pub crossover: Option<usize>,
+}
+
+impl Decision {
+    /// Records this decision on the flight log (the dump's
+    /// `policy_decision` row).
+    pub fn record(&self, unknowns: usize, nt: usize) {
+        let chosen = match self.mode {
+            ExecMode::Serial => flight::ExecTag::Serial,
+            ExecMode::PerOp => flight::ExecTag::PerOp,
+            ExecMode::Team | ExecMode::Auto => flight::ExecTag::Team,
+        };
+        flight::emit(flight::EventKind::PolicyDecision {
+            chosen,
+            unknowns: unknowns as u64,
+            nt: nt as u64,
+            serial_s: self.serial_s,
+            parallel_s: self.parallel_s,
+            crossover: self
+                .crossover
+                .map(|c| c as u64)
+                .unwrap_or(flight::NO_CROSSOVER),
+        });
+    }
+}
+
 /// Calibration-probe results, cached per pool size: sync costs depend on
 /// the worker count (and the machine), not on the specific pool.
 fn cached_sync_costs(pool: &ThreadPool) -> SyncCosts {
@@ -198,6 +253,13 @@ fn cached_sync_costs(pool: &ThreadPool) -> SyncCosts {
         return *c;
     }
     let c = SyncCosts::measure(pool);
+    // Calibrations are rare (once per pool size per process) and exactly
+    // what a post-hoc dump reader needs to audit policy decisions.
+    flight::emit(flight::EventKind::SyncProbe {
+        pool_size: pool.size() as u64,
+        region_launch_s: c.region_launch_s,
+        barrier_phase_s: c.barrier_phase_s,
+    });
     cache.push((pool.size(), c));
     c
 }

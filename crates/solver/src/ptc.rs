@@ -7,6 +7,7 @@
 //! ‖f(u_{l−1})‖` (capped), so the method behaves like time marching far
 //! from the solution and like Newton near it.
 
+use crate::anomaly::{Anomaly, AnomalyConfig, AnomalyDetector};
 use crate::gmres::{Gmres, GmresConfig, GmresExec};
 use crate::op::FdJacobian;
 use crate::policy::ExecMode;
@@ -14,8 +15,10 @@ use crate::precond::Preconditioner;
 use crate::vecops;
 use fun3d_threads::ThreadPool;
 use fun3d_util::telemetry;
+use fun3d_util::telemetry::flight;
 use fun3d_util::Timer;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// The problem interface the CFD application implements.
 pub trait PtcProblem {
@@ -74,6 +77,9 @@ pub struct PtcConfig {
     pub newton_per_step: usize,
     /// Linear solver settings.
     pub gmres: GmresConfig,
+    /// Residual anomaly detection thresholds (flight-dump triggers).
+    /// `FUN3D_WALL_BUDGET=<seconds>` overrides the wall budget.
+    pub anomaly: AnomalyConfig,
 }
 
 impl Default for PtcConfig {
@@ -89,6 +95,7 @@ impl Default for PtcConfig {
                 rtol: 1e-3, // inexact Newton: loose inner tolerance
                 ..Default::default()
             },
+            anomaly: AnomalyConfig::default(),
         }
     }
 }
@@ -106,6 +113,16 @@ pub struct PtcStats {
     pub res_history: Vec<f64>,
     /// True when the tolerance was met.
     pub converged: bool,
+    /// The concrete scheme the last linear solve ran (`"serial"`,
+    /// `"per-op"`, `"team"`) — with [`ExecMode::Auto`], whatever the
+    /// policy picked. `"serial"` when no linear solve ran.
+    pub exec: &'static str,
+    /// Flight-recorder id of this solve (every event the solve emitted
+    /// carries it).
+    pub solve_id: u64,
+    /// The anomaly that aborted the solve, if any (a flight dump with
+    /// the matching trigger was written when the recorder is enabled).
+    pub anomaly: Option<Anomaly>,
 }
 
 /// Runs ΨTC on `problem`, updating `u` in place.
@@ -121,6 +138,22 @@ pub fn solve(problem: &mut dyn PtcProblem, u: &mut [f64], config: &PtcConfig) ->
     // `FUN3D_EXEC` wins over the application's configuration.
     let mode = ExecMode::from_env().unwrap_or_else(|| problem.exec_mode());
 
+    let threads = pool.as_deref().map(ThreadPool::size).unwrap_or(1) as u64;
+    let solve_id = flight::begin_solve(n as u64, threads);
+    let t0 = Instant::now();
+    let mut detector = {
+        let mut acfg = config.anomaly;
+        if let Some(budget) = std::env::var("FUN3D_WALL_BUDGET")
+            .ok()
+            .and_then(|v| v.trim().parse::<f64>().ok())
+        {
+            acfg.wall_budget_s = Some(budget);
+        }
+        AnomalyDetector::new(acfg)
+    };
+    let regions0 = pool.as_deref().map(ThreadPool::regions_launched);
+    let barriers0 = fun3d_threads::barrier::total_crossings();
+
     problem.residual(u, &mut r);
     let res0 = vecops::norm2(&r);
     let mut res = res0;
@@ -130,9 +163,13 @@ pub fn solve(problem: &mut dyn PtcProblem, u: &mut [f64], config: &PtcConfig) ->
         linear_iters: 0,
         res_history: vec![res0],
         converged: res0 <= config.atol,
+        exec: "serial",
+        solve_id: solve_id.0,
+        anomaly: None,
     };
     if stats.converged || res0 == 0.0 {
         stats.converged = true;
+        flight::end_solve(solve_id, true, 0, 0, res0);
         return stats;
     }
 
@@ -180,6 +217,15 @@ pub fn solve(problem: &mut dyn PtcProblem, u: &mut [f64], config: &PtcConfig) ->
             stats.linear_iters += lin.iterations;
             step_lin_iters += lin.iterations;
             stats.newton_iters += 1;
+            stats.exec = lin.exec;
+            if let Some(tag) = flight::ExecTag::parse(lin.exec) {
+                flight::emit(flight::EventKind::Gmres {
+                    exec: tag,
+                    iterations: lin.iterations as u64,
+                    residual: lin.residual,
+                    reductions: lin.reductions as u64,
+                });
+            }
             vecops::axpy(u, 1.0, &delta);
             problem.residual(u, &mut r);
         }
@@ -190,15 +236,51 @@ pub fn solve(problem: &mut dyn PtcProblem, u: &mut [f64], config: &PtcConfig) ->
         telemetry::series_push("ptc.residual", (step + 1) as f64, res);
         telemetry::series_push("ptc.dt", (step + 1) as f64, dt);
         telemetry::series_push("ptc.gmres_iters", (step + 1) as f64, step_lin_iters as f64);
+        flight::emit(flight::EventKind::PtcStep {
+            step: (step + 1) as u64,
+            res,
+            dt,
+            gmres_iters: step_lin_iters as u64,
+        });
         problem.on_step(step + 1, res, dt);
 
         if res <= config.rtol * res0 || res <= config.atol {
             stats.converged = true;
             break;
         }
-        if !res.is_finite() {
-            break; // diverged; caller inspects history
+        // The detector subsumes the old bare `!res.is_finite()` bail: a
+        // NaN/Inf residual is a divergence anomaly, and blow-up /
+        // stagnation / budget overruns abort too — each with a flight
+        // dump naming the trigger, so the black box survives the failure.
+        if let Some(anomaly) = detector.observe(step + 1, res, t0.elapsed().as_secs_f64()) {
+            flight::emit(flight::EventKind::Anomaly {
+                trigger: anomaly.trigger(),
+                step: anomaly.step() as u64,
+                value: anomaly.value(),
+            });
+            stats.anomaly = Some(anomaly);
+            if flight::enabled() {
+                let _ = flight::dump(anomaly.trigger());
+            }
+            break;
         }
+    }
+
+    if let (Some(p), Some(r0)) = (pool.as_deref(), regions0) {
+        flight::emit(flight::EventKind::RegionSummary {
+            regions: p.regions_launched() - r0,
+            barriers: fun3d_threads::barrier::total_crossings() - barriers0,
+        });
+    }
+    flight::end_solve(
+        solve_id,
+        stats.converged,
+        stats.time_steps as u64,
+        stats.linear_iters as u64,
+        res,
+    );
+    if flight::enabled() && flight::dump_requested() {
+        let _ = flight::dump(flight::Trigger::Request);
     }
     stats
 }

@@ -10,6 +10,16 @@
 use crate::sync_shim::{spin_hint, yield_now, AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use fun3d_util::telemetry;
 
+/// Barrier phases completed across *every* [`SpinBarrier`] in the
+/// process (always counted, leader-only increment). Delta this around a
+/// solve for the flight recorder's barrier-crossing summary.
+static TOTAL_CROSSINGS: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+/// Process-wide barrier crossings so far (see [`TOTAL_CROSSINGS`]).
+pub fn total_crossings() -> u64 {
+    TOTAL_CROSSINGS.load(std::sync::atomic::Ordering::Relaxed)
+}
+
 /// A reusable spinning barrier for a fixed number of participants.
 pub struct SpinBarrier {
     count: AtomicUsize,
@@ -129,6 +139,7 @@ impl SpinBarrier {
             self.count.store(0, Ordering::Relaxed);
             // Relaxed: monotonic stat, read casually via `crossings()`.
             self.crossings.fetch_add(1, Ordering::Relaxed);
+            TOTAL_CROSSINGS.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
             self.note_crossing();
             // Release: publishes the closing arriver's accumulated view
             // (count RMW chain) — and the count reset — to every waiter's

@@ -411,6 +411,10 @@ impl ThreadPool {
         // wait ladder for the *next* region.
         bell.note_region_ns(t0.elapsed().as_nanos().min(u64::MAX as u128) as u64);
         if bell.retire() {
+            // Black-box moment: the launcher still has the solve context
+            // (rank/solve tags live on this thread), so record the event
+            // and dump the flight log *before* the panic unwinds it away.
+            telemetry::flight::note_region_panic(self.size);
             panic!("a pool worker panicked inside ThreadPool::run");
         }
     }

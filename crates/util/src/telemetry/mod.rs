@@ -37,6 +37,7 @@
 //! up in the trace.
 
 pub mod counters;
+pub mod flight;
 pub mod json;
 pub mod profile;
 pub mod ring;

@@ -1,0 +1,97 @@
+//! Overhead guard for the always-on flight recorder.
+//!
+//! The recorder's contract is "on by default and free": an enabled
+//! `emit` is ten relaxed stores plus one release store into a
+//! thread-local ring, invisible next to any memory-bound solver kernel.
+//! This test measures a streaming kernel that emits one flight event
+//! per invocation — a far higher event rate than the real per-step /
+//! per-solve sources — with the recorder disabled and enabled, and
+//! fails if the enabled median leaves the disabled run's noise band.
+//! The matching CSV rows come from the `flight` group in
+//! `crates/bench/benches/kernels.rs`.
+
+use fun3d_util::microbench::{Bench, SampleConfig};
+use fun3d_util::telemetry::flight;
+use std::time::Duration;
+
+/// A memory-bound stand-in for a solver kernel (the util crate cannot
+/// see the flux kernels): one fused triad pass over `x`/`y`.
+fn triad(x: &mut [f64], y: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    for (xi, yi) in x.iter_mut().zip(y) {
+        *xi = 0.999 * *xi + 0.5 * *yi;
+        acc += *xi;
+    }
+    acc
+}
+
+fn measure(enabled: bool) -> (f64, f64) {
+    flight::set_enabled(enabled);
+    let n = 16_384;
+    let mut x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.01).sin()).collect();
+    let y: Vec<f64> = (0..n).map(|i| (i as f64 * 0.02).cos()).collect();
+    let mut bench = Bench::with_config(SampleConfig {
+        warmup: Duration::from_millis(10),
+        min_sample_time: Duration::from_millis(2),
+        sample_size: 15,
+    });
+    let mut g = bench.group("flight_overhead");
+    let id = if enabled { "on" } else { "off" };
+    g.bench_function(id, |b| {
+        b.iter(|| {
+            flight::emit(flight::EventKind::PtcStep {
+                step: 1,
+                res: 1.0,
+                dt: 2.0,
+                gmres_iters: 3,
+            });
+            std::hint::black_box(triad(&mut x, &y))
+        })
+    });
+    g.finish();
+    let rec = &bench.records()[0];
+    (rec.median_s, rec.mad_s)
+}
+
+#[test]
+fn always_on_recording_stays_within_kernel_noise() {
+    // Interleave-free A/B on the same process and data. Alternating the
+    // order (off first) gives the enabled run the warmer cache — the
+    // conservative direction for this guard.
+    let (med_off, mad_off) = measure(false);
+    let (med_on, mad_on) = measure(true);
+    flight::set_enabled(true); // restore the default for other tests
+
+    // Noise band: 25% of the disabled median plus a generous multiple of
+    // both runs' MADs. One emit is ~11 uncontended stores against a
+    // 16k-element streaming pass, far below 1% in practice; the band is
+    // wide only to keep a shared, single-core CI container from flaking.
+    let bound = med_off * 1.25 + 12.0 * (mad_off + mad_on);
+    assert!(
+        med_on <= bound,
+        "enabled flight recording left the noise band: off {:.3e}s (mad {:.1e}), \
+         on {:.3e}s (mad {:.1e}), bound {:.3e}s",
+        med_off,
+        mad_off,
+        med_on,
+        mad_on,
+        bound
+    );
+}
+
+#[test]
+fn disabled_emit_is_a_single_gate_load() {
+    // Sanity on the other side: with recording off, nothing lands in
+    // this thread's ring (the gate is checked before the ring exists).
+    flight::set_enabled(false);
+    let before = flight::snapshot().events.len();
+    for _ in 0..100 {
+        flight::emit(flight::EventKind::RegionSummary {
+            regions: 1,
+            barriers: 2,
+        });
+    }
+    let after = flight::snapshot().events.len();
+    flight::set_enabled(true);
+    assert_eq!(before, after, "disabled emit must record nothing");
+}

@@ -1,0 +1,141 @@
+//! Model check for the flight recorder ring's single-writer
+//! seqlock-style publication protocol. Compiled only under
+//! `--cfg fun3d_check`, where the ring's atomics are fun3d-check's
+//! tracked types.
+//!
+//! The flight ring reuses the span ring's discipline — relaxed slot
+//! stores, one Release head store, double-Acquire collect with a
+//! stability trim — over a wider, integer-only slot. A torn slot here
+//! cannot cause undefined behaviour (no pointers are reconstructed),
+//! but it *would* fabricate solver history: a dump is trusted evidence
+//! of what a failed run did, so a collector surfacing an unpublished or
+//! half-overwritten event is a correctness bug. The positive model lets
+//! the checker try every interleaving of a concurrent push/collect
+//! pair; the mutant downgrades the head publication to `Relaxed` and
+//! the checker must find the schedule where the collector observes
+//! payload words the writer never published.
+#![cfg(fun3d_check)]
+
+use fun3d_check::shim::{spin_hint, AtomicU64, Ordering};
+use fun3d_check::{explore, thread, Config, FailureKind};
+use fun3d_util::telemetry::flight::{FlightRing, RawEvent};
+use std::sync::Arc;
+
+fn cfg() -> Config {
+    Config {
+        max_threads: 4,
+        preemption_bound: Some(2),
+        max_schedules: 400_000,
+        history: 3,
+    }
+}
+
+/// An event whose every word is derived from `seed`, so a mixed slot
+/// (words from two different pushes) is detectable by inspection.
+fn ev(seed: u64) -> RawEvent {
+    RawEvent {
+        kind: seed,
+        t_ns: seed * 10,
+        rank: seed * 100,
+        solve: seed * 1000,
+        payload: std::array::from_fn(|k| seed * 10_000 + k as u64),
+    }
+}
+
+#[test]
+fn concurrent_collect_only_surfaces_stable_consistent_events() {
+    // Writer pushes two events while the collector snapshots
+    // concurrently; afterwards a quiescent (join-ordered) collect checks
+    // the stable tail. Every surfaced event must equal one of the pushed
+    // events *word for word* — a mixed slot would mean the stability
+    // filter surfaced a torn write, i.e. a dump could contain solver
+    // history that never happened.
+    let report = explore(&cfg(), || {
+        let ring = Arc::new(FlightRing::new(2));
+        let r2 = Arc::clone(&ring);
+        let writer = thread::spawn(move || {
+            r2.push(ev(1));
+            r2.push(ev(2));
+        });
+        let (events, _dropped) = ring.collect();
+        for e in &events {
+            assert!(
+                *e == ev(1) || *e == ev(2),
+                "torn or unpublished slot surfaced: {e:?}"
+            );
+        }
+        writer.join();
+        // Join-ordered collect: capacity 2 keeps indices {0, 1}, and the
+        // stability trim conservatively discards the oldest retained
+        // index, so exactly event 2 survives.
+        let (events, dropped) = ring.collect();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0], ev(2));
+        assert_eq!(dropped, 1);
+    });
+    // Schedule count quoted in EXPERIMENTS.md; visible with --nocapture.
+    eprintln!(
+        "explored {} schedules (exhaustive: {})",
+        report.schedules, report.exhaustive
+    );
+    assert!(report.failure.is_none(), "{:?}", report.failure);
+    assert!(report.exhaustive, "budget too small: {}", report.schedules);
+    assert!(report.schedules >= 2);
+}
+
+#[test]
+fn relaxed_head_publication_is_caught() {
+    // Mutant skeleton of `FlightRing::push` with the head store
+    // downgraded to Relaxed: two payload words stand in for the ten slot
+    // words. The checker must find the schedule where the collector's
+    // Acquire head load is satisfied but the relaxed slot stores are not
+    // yet visible.
+    let report = explore(&cfg(), || {
+        let slot = Arc::new([AtomicU64::new(0), AtomicU64::new(0)]);
+        let head = Arc::new(AtomicU64::new(0));
+        let (s2, h2) = (Arc::clone(&slot), Arc::clone(&head));
+        let writer = thread::spawn(move || {
+            s2[0].store(7, Ordering::Relaxed);
+            s2[1].store(77, Ordering::Relaxed);
+            h2.store(1, Ordering::Relaxed); // BUG: FlightRing::push uses Release
+        });
+        while head.load(Ordering::Acquire) != 1 {
+            spin_hint();
+        }
+        let a = slot[0].load(Ordering::Relaxed);
+        let b = slot[1].load(Ordering::Relaxed);
+        assert!(a == 7 && b == 77, "collector saw unpublished slot: ({a}, {b})");
+        writer.join();
+    });
+    let f = report.failure.expect("checker must catch the relaxed head");
+    assert_eq!(f.kind, FailureKind::Panic, "{}", f.message);
+    assert!(!f.schedule.is_empty());
+}
+
+#[test]
+fn wraparound_drop_accounting_is_exact_under_concurrency() {
+    // Three pushes into a capacity-2 ring with a concurrent collector:
+    // whatever prefix the collector observes, events + dropped must
+    // account for every push it saw published (the dump's `dropped`
+    // field is part of the artifact contract).
+    let report = explore(&cfg(), || {
+        let ring = Arc::new(FlightRing::new(2));
+        let r2 = Arc::clone(&ring);
+        let writer = thread::spawn(move || {
+            r2.push(ev(1));
+            r2.push(ev(2));
+            r2.push(ev(3));
+        });
+        let (events, dropped) = ring.collect();
+        assert!(events.len() as u64 + dropped <= 3);
+        for e in &events {
+            assert!(*e == ev(1) || *e == ev(2) || *e == ev(3), "torn slot: {e:?}");
+        }
+        writer.join();
+        let (events, dropped) = ring.collect();
+        assert_eq!(events.len() as u64 + dropped, 3);
+        assert_eq!(events.last(), Some(&ev(3)));
+    });
+    assert!(report.failure.is_none(), "{:?}", report.failure);
+    assert!(report.exhaustive, "budget too small: {}", report.schedules);
+}

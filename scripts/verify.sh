@@ -86,6 +86,31 @@ for artifact in target/experiments/perf_report.json \
 done
 echo "ok: telemetry artifacts present and parsable"
 
+echo "== flight recorder: injected faults must dump, clean runs must not =="
+# The black-box contract, negative canary first: a clean convergent
+# solve must leave no dump. Then two injected failures — a NaN residual
+# (anomaly detector) and a worker panic inside a pool region (launcher
+# hook) — must each leave a dump that survives the strict validator and
+# renders. flight_demo itself exits nonzero if a dump is missing,
+# malformed, or unexpectedly present; the explicit --check below proves
+# the artifacts validate through the standalone viewer too.
+FLIGHT_DIR=target/experiments/verify_flight
+rm -rf "$FLIGHT_DIR"
+cargo run --release --offline -q -p fun3d-bench --bin flight_demo -- --inject none --dir "$FLIGHT_DIR"
+cargo run --release --offline -q -p fun3d-bench --bin flight_demo -- --inject divergence --dir "$FLIGHT_DIR"
+# The injected panic's backtrace is expected noise, not a failure.
+cargo run --release --offline -q -p fun3d-bench --bin flight_demo -- --inject panic --dir "$FLIGHT_DIR" 2>/dev/null
+for trigger in divergence region_panic; do
+    artifact="$FLIGHT_DIR/flight.$trigger.json"
+    if [ ! -f "$artifact" ]; then
+        echo "FAIL: missing flight dump $artifact"
+        exit 1
+    fi
+    cargo run --release --offline -q -p fun3d-bench --bin flight_view -- --check "$artifact"
+    cargo run --release --offline -q -p fun3d-bench --bin flight_view -- "$artifact" >/dev/null
+done
+echo "ok: flight dumps provoked, validated, and renderable; clean run left none"
+
 echo "== sync_ablation across mesh sizes (execution-policy ablation) =="
 # Serial / region-per-op / persistent-region / adaptive GMRES on a
 # quick two-point size trajectory: the run itself asserts per-op and
