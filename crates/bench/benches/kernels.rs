@@ -74,6 +74,109 @@ fn bench_flux(c: &mut Bench) {
     g.finish();
 }
 
+/// Prefetch-distance ablation: the same SIMD+prefetch flux kernel with
+/// the lookahead swept across 4/8/16/32 edges. 16 is the shipped
+/// [`flux::PREFETCH_DIST`]; the sweep documents how flat (or not) the
+/// optimum is on this host.
+fn bench_prefetch_dist(c: &mut Bench) {
+    let (geom, node, _) = fixture();
+    let n4 = node.n * 4;
+    let mut g = c.group("prefetch_dist");
+    g.sample_size(20);
+    for dist in [4usize, 8, 16, 32] {
+        g.bench_function(&format!("dist_{dist}"), |b| {
+            b.iter_batched_ref(
+                || vec![0.0; n4],
+                |res| flux::serial_aos_simd_prefetch_dist(&geom, &node, 1.0, res, dist),
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+/// Tiled (cache-blocked) edge kernels against their streaming
+/// counterparts, in both execution modes: `staged` pays the scratch-pad
+/// copy, `direct` gathers straight from the global arrays in tile
+/// order. The spread between them is the staging overhead this host's
+/// LLC residency makes visible.
+fn bench_tiled(c: &mut Bench) {
+    use fun3d_core::flux::TileExec;
+    let (geom, node, _) = fixture();
+    let n4 = node.n * 4;
+    let tiling = fun3d_partition::EdgeTiling::build(
+        node.n,
+        &geom.edges,
+        &fun3d_partition::TilingConfig::for_machine(&fun3d_machine::MachineSpec::host()),
+    );
+    let tg = fun3d_core::TiledGeom::new(&tiling, &geom);
+    let mut g = c.group("flux_tiled");
+    g.sample_size(20);
+    g.bench_function("direct", |b| {
+        b.iter_batched_ref(
+            || vec![0.0; n4],
+            |res| flux::tiled(&tiling, &tg, &node, 1.0, TileExec::Direct, res),
+            BatchSize::LargeInput,
+        )
+    });
+    g.bench_function("staged", |b| {
+        b.iter_batched_ref(
+            || vec![0.0; n4],
+            |res| flux::tiled(&tiling, &tg, &node, 1.0, TileExec::Staged, res),
+            BatchSize::LargeInput,
+        )
+    });
+    g.finish();
+
+    // Gradient needs the bc/vol fixture the flux path doesn't carry.
+    let mut mesh = MeshPreset::Small.build();
+    fun3d_core::Fun3dApp::rcm_reorder(&mut mesh);
+    let dual = DualMesh::build(&mesh);
+    let bc = fun3d_core::bc::BcData::build(&dual);
+    let mut g = c.group("gradient_tiled");
+    g.sample_size(20);
+    g.bench_function("serial", |b| {
+        b.iter_batched_ref(
+            || node.clone(),
+            |n| fun3d_core::gradient::green_gauss(&geom, &bc, &dual.vol, n),
+            BatchSize::LargeInput,
+        )
+    });
+    g.bench_function("direct", |b| {
+        b.iter_batched_ref(
+            || node.clone(),
+            |n| {
+                fun3d_core::gradient::green_gauss_tiled(
+                    &tiling,
+                    &tg,
+                    &bc,
+                    &dual.vol,
+                    TileExec::Direct,
+                    n,
+                )
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    g.bench_function("staged", |b| {
+        b.iter_batched_ref(
+            || node.clone(),
+            |n| {
+                fun3d_core::gradient::green_gauss_tiled(
+                    &tiling,
+                    &tg,
+                    &bc,
+                    &dual.vol,
+                    TileExec::Staged,
+                    n,
+                )
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    g.finish();
+}
+
 fn jacobian() -> Bcsr4 {
     let mesh = MeshPreset::Small.build();
     let mut a = Bcsr4::from_edges(mesh.nvertices(), &mesh.edges());
@@ -300,6 +403,8 @@ fn bench_partitioner(c: &mut Bench) {
 fn main() {
     let mut c = Bench::from_args();
     bench_flux(&mut c);
+    bench_prefetch_dist(&mut c);
+    bench_tiled(&mut c);
     bench_recurrences(&mut c);
     bench_spmv(&mut c);
     bench_vecops(&mut c);

@@ -13,11 +13,13 @@
 //!   owner-writes plan (20-thread METIS partition of this mesh).
 
 use fun3d_bench::{emit, fmt_x, measure, KernelFixture};
-use fun3d_core::flux;
+use fun3d_core::{counts, flux};
 use fun3d_core::geom::NodeSoa;
 use fun3d_machine::{kernels, EdgeLoopCosts, MachineSpec};
 use fun3d_mesh::generator::MeshPreset;
-use fun3d_partition::{partition_graph, MultilevelConfig, OwnerWritesPlan};
+use fun3d_partition::{
+    partition_graph, EdgeTiling, MultilevelConfig, OwnerWritesPlan, TileQuality, TilingConfig,
+};
 use fun3d_util::report::{fmt_g, Table};
 
 fn main() {
@@ -45,6 +47,19 @@ fn main() {
         res.iter_mut().for_each(|x| *x = 0.0);
         flux::serial_aos_simd_prefetch(&fix.geom, &fix.node, beta, &mut res);
     });
+    // Tiled scratch-pad staging, sized for this host's L2, running on
+    // the tile-ordered geometry (built once, outside the timed region).
+    let tiling = EdgeTiling::build(
+        fix.mesh.nvertices(),
+        &fix.geom.edges,
+        &TilingConfig::for_machine(&MachineSpec::host()),
+    );
+    let tgeom = fun3d_core::TiledGeom::new(&tiling, &fix.geom);
+    let texec = flux::TileExec::auto(&MachineSpec::host(), fix.mesh.nvertices());
+    let t_tiled = measure(cli.reps, || {
+        res.iter_mut().for_each(|x| *x = 0.0);
+        flux::tiled(&tiling, &tgeom, &fix.node, beta, texec, &mut res);
+    });
 
     let mut host = Table::new(
         "Fig. 6a (host-measured, serial): single-thread flux variants",
@@ -69,7 +84,14 @@ fn main() {
         fmt_x(t_soa / t_pref),
         "2.25x".into(),
     ]);
+    host.row(&[
+        format!("tiled ({texec:?} exec)"),
+        fmt_g(t_tiled),
+        fmt_x(t_soa / t_tiled),
+        "-".into(),
+    ]);
     emit("fig6a_flux_opts_host", &host);
+    println!("tile quality: {}", TileQuality::of(&tiling).summary());
 
     // ---- modeled cumulative stack on the paper machine -------------
     let machine = MachineSpec::xeon_e5_2690v2();
@@ -97,6 +119,24 @@ fn main() {
         let t = kernels::edge_loop_time(&machine, loads, cyc, costs.dram_bytes_per_edge, 0.0);
         model.row(&[name.to_string(), fmt_g(t), fmt_x(t0 / t)]);
     }
+    // Tiled staging: same SIMD batch compute, but DRAM traffic shrunk by
+    // the tiling's *measured* reuse (ratio of the analytic tiled byte
+    // model to the streaming byte model on this mesh).
+    let ne = fix.geom.nedges();
+    let byte_ratio = counts::flux_tiled(ne, tiling.vertex_slots()).bytes() as f64
+        / counts::flux(ne).bytes() as f64;
+    let t_tl = kernels::edge_loop_time(
+        &machine,
+        &per_thread,
+        costs.simd,
+        costs.dram_bytes_per_edge * byte_ratio,
+        0.0,
+    );
+    model.row(&[
+        "+ tiled scratch-pad staging".to_string(),
+        fmt_g(t_tl),
+        fmt_x(t0 / t_tl),
+    ]);
     emit("fig6a_flux_opts_model", &model);
     println!(
         "\npaper: 20.6x total at 10 cores / 20 threads; replication overhead of this plan: {:.1}%",

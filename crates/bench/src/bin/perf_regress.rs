@@ -106,6 +106,58 @@ fn parse_args() -> Args {
 fn distill(doc: &Json) -> Result<(Vec<(String, String)>, Vec<(String, f64)>), String> {
     let mut config = Vec::new();
     let mut metrics = Vec::new();
+    // tiled_flux.json also carries a `meshes` array, so its explicit
+    // shape marker must dispatch before the generic meshes branch.
+    if doc.get("kind").and_then(Json::as_str) == Some("tiled_flux") {
+        let meshes = doc
+            .get("meshes")
+            .and_then(Json::as_arr)
+            .ok_or("tiled_flux artifact without 'meshes'")?;
+        if let Some(reps) = doc.get("reps").and_then(Json::as_f64) {
+            config.push(("reps".to_string(), format!("{reps}")));
+        }
+        let names: Vec<&str> = meshes
+            .iter()
+            .filter_map(|m| m.get("mesh").and_then(Json::as_str))
+            .collect();
+        config.push(("meshes".to_string(), names.join(",")));
+        for m in meshes {
+            let name = m
+                .get("mesh")
+                .and_then(Json::as_str)
+                .ok_or("mesh entry without 'mesh'")?;
+            if let Some(e) = m.get("tile_exec").and_then(Json::as_str) {
+                config.push((format!("{name}.tile_exec"), e.to_string()));
+            }
+            if let Some(r) = m
+                .get("tile_quality")
+                .and_then(|q| q.get("reuse"))
+                .and_then(Json::as_f64)
+            {
+                metrics.push((format!("{name}.tile_reuse"), r));
+            }
+            let rows = m
+                .get("variants")
+                .and_then(Json::as_arr)
+                .ok_or("mesh entry without 'variants'")?;
+            for r in rows {
+                let v = r
+                    .get("variant")
+                    .and_then(Json::as_str)
+                    .ok_or("variant row without 'variant'")?;
+                let t = r
+                    .get("threads")
+                    .and_then(Json::as_f64)
+                    .ok_or("variant row without 'threads'")? as u64;
+                let gbps = r
+                    .get("gbps")
+                    .and_then(Json::as_f64)
+                    .ok_or("variant row without 'gbps'")?;
+                metrics.push((format!("{name}.{v}.gbps@{t}t"), gbps));
+            }
+        }
+        return Ok((config, metrics));
+    }
     if let Some(meshes) = doc.get("meshes").and_then(Json::as_arr) {
         if let Some(reps) = doc.get("reps").and_then(Json::as_f64) {
             config.push(("reps".to_string(), format!("{reps}")));
@@ -525,6 +577,50 @@ fn do_self_test() -> i32 {
         return 2;
     }
     println!("self-test: scaling canary flagged, healthy scaling clean");
+
+    // tiled_flux distill canary: the shape marker must dispatch before
+    // the generic meshes branch and produce higher-is-better gbps keys.
+    let tiled = Json::obj(vec![
+        ("kind", Json::str("tiled_flux")),
+        ("reps", Json::num(3.0)),
+        (
+            "meshes",
+            Json::Arr(vec![Json::obj(vec![
+                ("mesh", Json::str("medium")),
+                ("tile_exec", Json::str("direct")),
+                (
+                    "tile_quality",
+                    Json::obj(vec![("reuse", Json::num(6.1))]),
+                ),
+                (
+                    "variants",
+                    Json::Arr(vec![Json::obj(vec![
+                        ("variant", Json::str("flux_tiled")),
+                        ("threads", Json::num(4.0)),
+                        ("gbps", Json::num(12.0)),
+                    ])]),
+                ),
+            ])]),
+        ),
+    ]);
+    match distill(&tiled) {
+        Ok((_, m)) => {
+            let key = "medium.flux_tiled.gbps@4t";
+            if !m.iter().any(|(k, v)| k == key && *v == 12.0) {
+                eprintln!("perf_regress: SELF-TEST FAILED — tiled_flux distill missing {key}");
+                return 2;
+            }
+            if !perfdb::higher_is_better(key) {
+                eprintln!("perf_regress: SELF-TEST FAILED — {key} must be higher-is-better");
+                return 2;
+            }
+        }
+        Err(e) => {
+            eprintln!("perf_regress: SELF-TEST FAILED — tiled_flux distill: {e}");
+            return 2;
+        }
+    }
+    println!("self-test: tiled_flux artifact distills to gbps metrics");
     let canary_code = enforce_scaling_rule(&canary, gate);
 
     if gate == Gate::Hard && (regressions > 0 || canary_code != 0) {

@@ -3,13 +3,17 @@
 
 use crate::bc::{self, BcData};
 use crate::euler::FlowConditions;
-use crate::geom::{EdgeGeom, NodeAos};
+use crate::geom::{EdgeGeom, NodeAos, TiledGeom};
 use crate::{flux, gradient, jacobian};
+use fun3d_machine::MachineSpec;
 use fun3d_mesh::{reorder, DualMesh, Mesh};
-use fun3d_partition::{natural_partition, partition_graph, MultilevelConfig, OwnerWritesPlan};
+use fun3d_partition::{
+    natural_partition, partition_graph, EdgeTiling, MultilevelConfig, OwnerWritesPlan,
+    TilingConfig,
+};
 use fun3d_solver::precond::Preconditioner;
 use fun3d_solver::ptc::{self, PtcConfig, PtcProblem, PtcStats};
-use fun3d_solver::ExecMode;
+use fun3d_solver::{ExecMode, FluxScheme};
 use fun3d_sparse::{ilu, levels, p2p, trsv, Bcsr4, IluFactors, LevelSchedule, P2pProgress, P2pSchedule};
 use fun3d_threads::{TeamMember, TeamSlice, ThreadPool};
 use fun3d_util::telemetry;
@@ -65,6 +69,11 @@ pub struct OptConfig {
     /// fork-join and barrier synchronization they pay, which is what the
     /// paper's synchronization analysis targets.
     pub exec: ExecMode,
+    /// Residual-path edge-kernel scheme: streaming (the paper's
+    /// kernels), cache-blocked tiling with scratch-pad staging, or
+    /// `Auto` (tile when the node working set overflows the private L2
+    /// of the cores in use). `FUN3D_FLUX=stream|tiled|auto` overrides.
+    pub flux: FluxScheme,
 }
 
 impl OptConfig {
@@ -81,6 +90,7 @@ impl OptConfig {
             ilu_lag: 1,
             use_lsq_gradients: false,
             exec: ExecMode::PerOp,
+            flux: FluxScheme::Stream,
         }
     }
 
@@ -104,6 +114,9 @@ impl OptConfig {
             // hard-coding team mode here is exactly the thread-scaling
             // inversion on small meshes (sync cost > parallel payoff).
             exec: ExecMode::Auto,
+            // Same reasoning for the edge kernels: tile only the meshes
+            // whose node working set actually misses cache.
+            flux: FluxScheme::Auto,
         }
     }
 }
@@ -229,6 +242,11 @@ pub struct Fun3dApp {
     ilu_pattern: Vec<Vec<u32>>,
     pool: Option<Arc<ThreadPool>>,
     plan: Option<OwnerWritesPlan>,
+    tiling: Option<EdgeTiling>,
+    /// Tile-ordered geometry for the tiled kernels (Some iff `tiling`).
+    tiled_geom: Option<TiledGeom>,
+    /// Staged vs direct tile execution, decided once per solve.
+    tile_exec: flux::TileExec,
     lvl_fwd: Option<Arc<LevelSchedule>>,
     lvl_bwd: Option<Arc<LevelSchedule>>,
     p2p_fwd: Option<Arc<P2pSchedule>>,
@@ -261,6 +279,17 @@ impl Fun3dApp {
         let vol = dual.vol.clone();
         let jac = Bcsr4::from_edges(nv, &geom.edges);
         let ilu_pattern = ilu::symbolic_iluk(&jac, cfg.ilu_fill);
+
+        // Residual-path scheme: env override > config; Auto weighs the
+        // node working set against the private L2 of the cores in use.
+        let machine = MachineSpec::host();
+        let scheme = FluxScheme::from_env()
+            .unwrap_or(cfg.flux)
+            .resolve(&machine, nv, cfg.nthreads);
+        let tiling = (scheme == FluxScheme::Tiled)
+            .then(|| EdgeTiling::build(nv, &geom.edges, &TilingConfig::for_machine(&machine)));
+        let tiled_geom = tiling.as_ref().map(|tl| TiledGeom::new(tl, &geom));
+        let tile_exec = flux::TileExec::auto(&machine, nv);
 
         let pool = (cfg.nthreads > 1).then(|| Arc::new(ThreadPool::new(cfg.nthreads)));
         let plan = pool.as_ref().map(|_| {
@@ -324,6 +353,9 @@ impl Fun3dApp {
             ilu_pattern,
             pool,
             plan,
+            tiling,
+            tiled_geom,
+            tile_exec,
             lvl_fwd,
             lvl_bwd,
             p2p_fwd,
@@ -370,6 +402,12 @@ impl Fun3dApp {
         self.plan.as_ref()
     }
 
+    /// The edge tiling the residual path resolved to (None when the
+    /// scheme resolved to streaming).
+    pub fn tiling(&self) -> Option<&EdgeTiling> {
+        self.tiling.as_ref()
+    }
+
     /// The assembled Jacobian (valid after a `build_preconditioner`).
     pub fn jacobian_matrix(&self) -> &Bcsr4 {
         &self.jac
@@ -383,10 +421,32 @@ impl Fun3dApp {
     fn run_flux(&mut self, r: &mut [f64]) {
         let t = std::time::Instant::now();
         let _span = telemetry::span("flux");
-        telemetry::record_kernel("flux", crate::counts::flux(self.geom.nedges()));
+        telemetry::record_kernel(
+            "flux",
+            match &self.tiling {
+                Some(tl) => crate::counts::flux_tiled(self.geom.nedges(), tl.vertex_slots()),
+                None => crate::counts::flux(self.geom.nedges()),
+            },
+        );
         r.iter_mut().for_each(|x| *x = 0.0);
-        match (&self.pool, &self.plan) {
-            (Some(pool), Some(plan)) => {
+        match (&self.tiling, &self.pool, &self.plan) {
+            (Some(tiling), Some(pool), _) => {
+                let tg = self.tiled_geom.as_ref().expect("tiled_geom built with tiling");
+                flux::tiled_pooled(
+                    pool,
+                    tiling,
+                    tg,
+                    &self.node,
+                    self.cond.beta,
+                    self.tile_exec,
+                    r,
+                );
+            }
+            (Some(tiling), None, _) => {
+                let tg = self.tiled_geom.as_ref().expect("tiled_geom built with tiling");
+                flux::tiled(tiling, tg, &self.node, self.cond.beta, self.tile_exec, r);
+            }
+            (None, Some(pool), Some(plan)) => {
                 if self.cfg.use_simd {
                     flux::owner_writes_opt(pool, plan, &self.geom, &self.node, self.cond.beta, r);
                 } else {
@@ -421,13 +481,37 @@ impl PtcProblem for Fun3dApp {
             let _span = telemetry::span("gradient");
             telemetry::record_kernel(
                 "gradient",
-                crate::counts::gradient(self.geom.nedges(), self.node.n),
+                match &self.tiling {
+                    Some(tl) if self.lsq.is_none() => crate::counts::gradient_tiled(
+                        self.geom.nedges(),
+                        self.node.n,
+                        tl.vertex_slots(),
+                    ),
+                    _ => crate::counts::gradient(self.geom.nedges(), self.node.n),
+                },
             );
             if let Some(lsq) = &self.lsq {
                 lsq.evaluate(&mut self.node);
             } else {
-                match (&self.pool, &self.plan) {
-                    (Some(pool), Some(plan)) => gradient::green_gauss_threaded(
+                match (&self.tiling, &self.pool, &self.plan) {
+                    (Some(tiling), Some(pool), _) => gradient::green_gauss_tiled_pooled(
+                        pool,
+                        tiling,
+                        self.tiled_geom.as_ref().expect("tiled_geom built with tiling"),
+                        &self.bc,
+                        &self.vol,
+                        self.tile_exec,
+                        &mut self.node,
+                    ),
+                    (Some(tiling), None, _) => gradient::green_gauss_tiled(
+                        tiling,
+                        self.tiled_geom.as_ref().expect("tiled_geom built with tiling"),
+                        &self.bc,
+                        &self.vol,
+                        self.tile_exec,
+                        &mut self.node,
+                    ),
+                    (None, Some(pool), Some(plan)) => gradient::green_gauss_threaded(
                         pool,
                         plan,
                         &self.geom,
@@ -607,6 +691,38 @@ mod tests {
             .sqrt();
         let norm: f64 = ub.iter().map(|v| v * v).sum::<f64>().sqrt();
         assert!(diff < 1e-3 * norm, "solutions diverged: {diff} vs {norm}");
+    }
+
+    #[test]
+    fn auto_flux_scheme_streams_on_tiny() {
+        // The tiny fixture's node working set is cache-resident, so the
+        // Auto scheme must keep the streaming kernels (and the solver
+        // tests above keep their bitwise histories).
+        let app = build(OptConfig::optimized(2));
+        assert!(app.tiling().is_none(), "tiny mesh must resolve to streaming");
+    }
+
+    #[test]
+    fn tiled_residual_path_converges_and_matches() {
+        let mut base = build(OptConfig::baseline());
+        let (ub, sb) = base.run(&solve_config());
+        assert!(sb.converged);
+        let norm: f64 = ub.iter().map(|v| v * v).sum::<f64>().sqrt();
+        for nt in [1usize, 3] {
+            let mut cfg = OptConfig::optimized(nt);
+            cfg.flux = FluxScheme::Tiled;
+            let mut app = build(cfg);
+            assert!(app.tiling().is_some(), "explicit tiled must build a tiling");
+            let (uo, so) = app.run(&solve_config());
+            assert!(so.converged, "nt={nt} history: {:?}", so.res_history);
+            let diff: f64 = ub
+                .iter()
+                .zip(&uo)
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum::<f64>()
+                .sqrt();
+            assert!(diff < 1e-3 * norm, "nt={nt}: solutions diverged: {diff} vs {norm}");
+        }
     }
 
     #[test]

@@ -19,19 +19,32 @@
 //! | [`atomics`] | natural edge split | AoS | — | — |
 //! | [`owner_writes`] | vertex partition, owner-only writes | AoS | — | — |
 //! | [`owner_writes_opt`] | vertex partition, owner-only writes | AoS | 4-edge batch | L1+L2 |
+//! | [`tiled`] | — (color-major tile order) | scratch-pad AoS | 4-edge batch | — |
+//! | [`tiled_pooled`] | inter-tile coloring, tiles of a color in parallel | scratch-pad AoS | 4-edge batch | — |
 //!
 //! The SIMD batch follows the paper's restructuring exactly: the
 //! dependency-free compute runs one edge per lane into a temporary
 //! buffer; results are committed with scalar writes afterward.
+//!
+//! The tiled variants go beyond the paper (ROADMAP item 2): vertex data
+//! of a cache-sized [`EdgeTiling`] tile is staged once into a dense
+//! scratch pad, every intra-tile edge reads and accumulates there with
+//! full reuse, and the result is scattered back per unique vertex —
+//! replacing the streaming kernels' two DRAM gathers per edge with one
+//! stage + one scatter per staged vertex. Same-color tiles are
+//! vertex-disjoint, so [`tiled_pooled`] runs each color class across the
+//! pool with no atomics and no replicated work, separated by barriers.
 
 use crate::euler;
-use crate::geom::{EdgeGeom, NodeAos, NodeSoa};
-use fun3d_partition::OwnerWritesPlan;
+use crate::geom::{EdgeGeom, NodeAos, NodeSoa, TiledGeom};
+use fun3d_partition::{EdgeTiling, OwnerWritesPlan, Tile};
 use fun3d_simd::{aos_load_transpose, prefetch_l1, prefetch_l2, F64x4};
-use fun3d_threads::{AtomicF64View, ThreadPool};
+use fun3d_threads::{available_cores, chunk_range, AtomicF64View, SpinBarrier, ThreadPool};
 
-/// Prefetch distance in edges (tuned constant; ablation in the bench
-/// suite sweeps it).
+/// Prefetch distance in edges. Tuned: the `prefetch_dist` microbench
+/// group sweeps 4/8/16/32 on this host (artifact in
+/// `target/experiments/microbench.csv`); 8 and 16 tie within noise,
+/// 4 and 32 are measurably worse.
 pub const PREFETCH_DIST: usize = 16;
 
 /// Shared per-edge physics, scalar form.
@@ -497,6 +510,375 @@ struct SendPtr(*mut f64);
 unsafe impl Send for SendPtr {}
 unsafe impl Sync for SendPtr {}
 
+/// How a tile's vertex data reaches the compute loop.
+///
+/// Both modes run the identical arithmetic over the identical edge
+/// order, so they produce **bitwise identical** results — the choice is
+/// purely a traffic trade, made once per solve by [`TileExec::auto`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TileExec {
+    /// Explicit scratch-pad staging: copy the tile's unique vertices
+    /// into a dense local pad, gather through the remap. Pays a copy
+    /// per staged vertex to convert DRAM gathers into L1/L2 gathers —
+    /// the win the paper-class machines (node arrays ≫ LLC) get from
+    /// tiling.
+    Staged,
+    /// Direct global gathers in tile order: the tile's vertex working
+    /// set is L2-sized by construction, so the hardware stages it on
+    /// first touch and the remaining gathers hit cache — no copy, no
+    /// remap traffic. The right mode when the node arrays are already
+    /// LLC-resident and an explicit copy is pure overhead.
+    Direct,
+}
+
+impl TileExec {
+    /// Picks the mode for a machine and mesh: staging only pays when
+    /// the flux kernel's node working set (state + gradient + residual
+    /// per vertex) cannot live in the last-level cache.
+    pub fn auto(machine: &fun3d_machine::MachineSpec, nvertices: usize) -> TileExec {
+        let working_set = nvertices * (4 + 12 + 4) * 8;
+        if working_set > machine.llc_bytes {
+            TileExec::Staged
+        } else {
+            TileExec::Direct
+        }
+    }
+}
+
+/// Per-worker scratch pad for the tiled kernels, sized to the largest
+/// tile: staged state (4/vertex) and gradient (12/vertex), local-index
+/// addressed — the reuse-heavy *read* side of the kernel. The residual
+/// is accumulated directly in the global array: the coloring already
+/// makes the tile's slots exclusive, and they are cache-resident for
+/// the tile's lifetime, so a third staged copy would be pure overhead.
+pub struct TileScratch {
+    q: Vec<f64>,
+    grad: Vec<f64>,
+}
+
+impl TileScratch {
+    /// Allocates a scratch pad holding up to `max_verts` staged vertices.
+    pub fn new(max_verts: usize) -> TileScratch {
+        TileScratch {
+            q: vec![0.0; max_verts * 4],
+            grad: vec![0.0; max_verts * 12],
+        }
+    }
+}
+
+/// One tile of the flux kernel: stage → compute (4-edge SIMD batches on
+/// the scratch pad, local indices), accumulating into the global
+/// residual (exclusive per the coloring, cache-resident for the tile).
+///
+/// `geom` is the tile-ordered geometry ([`TiledGeom`]) and `start` the
+/// tile's offset in it: the loop walks `start..start+len` sequentially,
+/// so every geometry array is a pure stream — the scratch-pad gathers
+/// are the only indexed accesses left, and they hit L1.
+///
+/// # Safety
+/// The caller must guarantee exclusive access to the `res` slots of this
+/// tile's vertices for the duration of the call. The tiled drivers get
+/// this from the inter-tile coloring: tiles of one color are
+/// vertex-disjoint, and colors are separated by barriers.
+unsafe fn tile_flux(
+    tile: &Tile,
+    start: usize,
+    geom: &EdgeGeom,
+    node: &NodeAos,
+    beta: f64,
+    scratch: &mut TileScratch,
+    res: *mut f64,
+) {
+    // Stage: one contiguous copy per unique vertex (slots are sorted by
+    // global id, so the global side of the copy is quasi-sequential).
+    for (l, &v) in tile.verts.iter().enumerate() {
+        let v = v as usize;
+        scratch.q[l * 4..l * 4 + 4].copy_from_slice(&node.q[v * 4..v * 4 + 4]);
+        scratch.grad[l * 12..l * 12 + 12].copy_from_slice(&node.grad[v * 12..v * 12 + 12]);
+    }
+    // Compute: the serial_aos_simd batch structure, gathers redirected
+    // through the local remap — everything the inner loop touches except
+    // the (sequential) edge geometry stream and the residual lines is
+    // scratch-pad resident.
+    let ne = tile.edges.len();
+    let nbatch = ne / 4 * 4;
+    let mut fout = [[0.0f64; 4]; 4];
+    let mut i = 0;
+    while i < nbatch {
+        let k = start + i;
+        let ia = [
+            tile.local[i][0] as usize,
+            tile.local[i + 1][0] as usize,
+            tile.local[i + 2][0] as usize,
+            tile.local[i + 3][0] as usize,
+        ];
+        let ib = [
+            tile.local[i][1] as usize,
+            tile.local[i + 1][1] as usize,
+            tile.local[i + 2][1] as usize,
+            tile.local[i + 3][1] as usize,
+        ];
+        let qa: [F64x4; 4] = aos_load_transpose::<4>(&scratch.q, 4, ia);
+        let ga: [F64x4; 12] = aos_load_transpose::<12>(&scratch.grad, 12, ia);
+        let qb: [F64x4; 4] = aos_load_transpose::<4>(&scratch.q, 4, ib);
+        let gb: [F64x4; 12] = aos_load_transpose::<12>(&scratch.grad, 12, ib);
+        let n = [
+            F64x4(geom.nx[k..k + 4].try_into().unwrap()),
+            F64x4(geom.ny[k..k + 4].try_into().unwrap()),
+            F64x4(geom.nz[k..k + 4].try_into().unwrap()),
+        ];
+        let r = [
+            F64x4(geom.rx[k..k + 4].try_into().unwrap()),
+            F64x4(geom.ry[k..k + 4].try_into().unwrap()),
+            F64x4(geom.rz[k..k + 4].try_into().unwrap()),
+        ];
+        let f = edge_flux_simd(&qa, &qb, &ga, &gb, &n, &r, beta);
+        for lane in 0..4 {
+            for c in 0..4 {
+                fout[lane][c] = f[c][lane];
+            }
+        }
+        for lane in 0..4 {
+            // Exclusive res access for this tile's vertices per the
+            // caller's coloring contract.
+            let e = geom.edges[k + lane];
+            let (a, b) = (e[0] as usize, e[1] as usize);
+            for c in 0..4 {
+                *res.add(a * 4 + c) += fout[lane][c];
+                *res.add(b * 4 + c) -= fout[lane][c];
+            }
+        }
+        i += 4;
+    }
+    // scalar tail on the scratch pad
+    for idx in nbatch..ne {
+        let k = start + idx;
+        let (la, lb) = (tile.local[idx][0] as usize, tile.local[idx][1] as usize);
+        let qa: [f64; 4] = scratch.q[la * 4..la * 4 + 4].try_into().unwrap();
+        let qb: [f64; 4] = scratch.q[lb * 4..lb * 4 + 4].try_into().unwrap();
+        let n = [geom.nx[k], geom.ny[k], geom.nz[k]];
+        let r = [geom.rx[k], geom.ry[k], geom.rz[k]];
+        let f = edge_flux(
+            &qa,
+            &qb,
+            &scratch.grad[la * 12..la * 12 + 12],
+            &scratch.grad[lb * 12..lb * 12 + 12],
+            &n,
+            &r,
+            beta,
+        );
+        let e = geom.edges[k];
+        let (a, b) = (e[0] as usize, e[1] as usize);
+        for c in 0..4 {
+            *res.add(a * 4 + c) += f[c];
+            *res.add(b * 4 + c) -= f[c];
+        }
+    }
+}
+
+/// One tile of the flux kernel, [`TileExec::Direct`] mode: the same
+/// 4-edge SIMD batches over the same tile-ordered edge range, but the
+/// vertex gathers go straight to the global arrays — the tile's
+/// L2-sized working set is staged by the hardware on first touch. Node
+/// data [`PREFETCH_DIST`] ahead is prefetched to L1 (the streaming
+/// kernels' idiom) to cover the first-touch latency.
+///
+/// Bitwise identical to [`tile_flux`]: identical arithmetic, identical
+/// edge order — staging copies values exactly.
+///
+/// # Safety
+/// Same exclusivity contract on `res` as [`tile_flux`].
+unsafe fn tile_flux_direct(
+    ntile_edges: usize,
+    start: usize,
+    geom: &EdgeGeom,
+    node: &NodeAos,
+    beta: f64,
+    res: *mut f64,
+) {
+    let ne = ntile_edges;
+    let nbatch = ne / 4 * 4;
+    let mut fout = [[0.0f64; 4]; 4];
+    let mut i = 0;
+    while i < nbatch {
+        let k = start + i;
+        let pi = k + PREFETCH_DIST;
+        if pi + 4 <= start + ne {
+            for lane in 0..4 {
+                let e = geom.edges[pi + lane];
+                prefetch_l1(&node.q, e[0] as usize * 4);
+                prefetch_l1(&node.q, e[1] as usize * 4);
+                prefetch_l1(&node.grad, e[0] as usize * 12);
+                prefetch_l1(&node.grad, e[1] as usize * 12);
+            }
+        }
+        let ia = [
+            geom.edges[k][0] as usize,
+            geom.edges[k + 1][0] as usize,
+            geom.edges[k + 2][0] as usize,
+            geom.edges[k + 3][0] as usize,
+        ];
+        let ib = [
+            geom.edges[k][1] as usize,
+            geom.edges[k + 1][1] as usize,
+            geom.edges[k + 2][1] as usize,
+            geom.edges[k + 3][1] as usize,
+        ];
+        let qa: [F64x4; 4] = aos_load_transpose::<4>(&node.q, 4, ia);
+        let ga: [F64x4; 12] = aos_load_transpose::<12>(&node.grad, 12, ia);
+        let qb: [F64x4; 4] = aos_load_transpose::<4>(&node.q, 4, ib);
+        let gb: [F64x4; 12] = aos_load_transpose::<12>(&node.grad, 12, ib);
+        let n = [
+            F64x4(geom.nx[k..k + 4].try_into().unwrap()),
+            F64x4(geom.ny[k..k + 4].try_into().unwrap()),
+            F64x4(geom.nz[k..k + 4].try_into().unwrap()),
+        ];
+        let r = [
+            F64x4(geom.rx[k..k + 4].try_into().unwrap()),
+            F64x4(geom.ry[k..k + 4].try_into().unwrap()),
+            F64x4(geom.rz[k..k + 4].try_into().unwrap()),
+        ];
+        let f = edge_flux_simd(&qa, &qb, &ga, &gb, &n, &r, beta);
+        for lane in 0..4 {
+            for c in 0..4 {
+                fout[lane][c] = f[c][lane];
+            }
+        }
+        for lane in 0..4 {
+            // Exclusive res access per the caller's coloring contract.
+            let (a, b) = (ia[lane], ib[lane]);
+            for c in 0..4 {
+                *res.add(a * 4 + c) += fout[lane][c];
+                *res.add(b * 4 + c) -= fout[lane][c];
+            }
+        }
+        i += 4;
+    }
+    // scalar tail
+    for idx in nbatch..ne {
+        let k = start + idx;
+        let e = geom.edges[k];
+        let (a, b) = (e[0] as usize, e[1] as usize);
+        let qa: [f64; 4] = node.q[a * 4..a * 4 + 4].try_into().unwrap();
+        let qb: [f64; 4] = node.q[b * 4..b * 4 + 4].try_into().unwrap();
+        let n = [geom.nx[k], geom.ny[k], geom.nz[k]];
+        let r = [geom.rx[k], geom.ry[k], geom.rz[k]];
+        let f = edge_flux(
+            &qa,
+            &qb,
+            &node.grad[a * 12..a * 12 + 12],
+            &node.grad[b * 12..b * 12 + 12],
+            &n,
+            &r,
+            beta,
+        );
+        for c in 0..4 {
+            *res.add(a * 4 + c) += f[c];
+            *res.add(b * 4 + c) -= f[c];
+        }
+    }
+}
+
+/// Tiled flux, serial driver: tiles in color-major order (colors outer,
+/// a color's tiles in order). Within one color every vertex is touched
+/// by at most one tile, so the per-vertex accumulation order is the
+/// color order — exactly the order [`tiled_pooled`] produces at any
+/// thread count, making serial and pooled tiled bitwise identical.
+pub fn tiled(
+    tiling: &EdgeTiling,
+    geom: &TiledGeom,
+    node: &NodeAos,
+    beta: f64,
+    exec: TileExec,
+    res: &mut [f64],
+) {
+    assert_eq!(res.len(), node.n * 4);
+    let geom = geom.geom();
+    assert_eq!(tiling.nedges, geom.nedges());
+    let mut scratch =
+        (exec == TileExec::Staged).then(|| TileScratch::new(tiling.max_tile_verts()));
+    let rp = res.as_mut_ptr();
+    for class in &tiling.color_tiles {
+        for &t in class {
+            let t = t as usize;
+            let start = tiling.tile_start[t] as usize;
+            // SAFETY: single-threaded — trivially exclusive.
+            unsafe {
+                match &mut scratch {
+                    Some(s) => tile_flux(&tiling.tiles[t], start, geom, node, beta, s, rp),
+                    None => tile_flux_direct(
+                        tiling.tiles[t].edges.len(),
+                        start,
+                        geom,
+                        node,
+                        beta,
+                        rp,
+                    ),
+                }
+            };
+        }
+    }
+}
+
+/// Tiled flux on the persistent pool: one region for the whole kernel;
+/// each color's tiles are chunked over the workers (vertex-disjoint, so
+/// no masks, no atomics, no replicated edges), with a spin barrier
+/// between colors. Bitwise identical to [`tiled`] at every thread count.
+pub fn tiled_pooled(
+    pool: &ThreadPool,
+    tiling: &EdgeTiling,
+    geom: &TiledGeom,
+    node: &NodeAos,
+    beta: f64,
+    exec: TileExec,
+    res: &mut [f64],
+) {
+    assert_eq!(res.len(), node.n * 4);
+    assert_eq!(tiling.nedges, geom.geom().nedges());
+    let nt = pool.size();
+    // Oversubscribed pool (more workers than schedulable cores): the
+    // per-color barriers would each cost scheduler round-trips instead
+    // of spins, dwarfing the kernel. The serial driver produces the
+    // bitwise-identical result (same color-major order), so use it.
+    if nt > available_cores() {
+        return tiled(tiling, geom, node, beta, exec, res);
+    }
+    let barrier = SpinBarrier::new(nt);
+    let max_verts = tiling.max_tile_verts();
+    let rp = SendPtr(res.as_mut_ptr());
+    let pg = geom.geom();
+    pool.run(|tid| {
+        let rp = &rp;
+        let mut scratch =
+            (exec == TileExec::Staged).then(|| TileScratch::new(max_verts));
+        for class in &tiling.color_tiles {
+            for &t in &class[chunk_range(class.len(), nt, tid)] {
+                let t = t as usize;
+                let start = tiling.tile_start[t] as usize;
+                // SAFETY: same-color tiles are vertex-disjoint and the
+                // barrier below orders colors, so each res slot has one
+                // writer at a time.
+                unsafe {
+                    match &mut scratch {
+                        Some(s) => {
+                            tile_flux(&tiling.tiles[t], start, pg, node, beta, s, rp.0)
+                        }
+                        None => tile_flux_direct(
+                            tiling.tiles[t].edges.len(),
+                            start,
+                            pg,
+                            node,
+                            beta,
+                            rp.0,
+                        ),
+                    }
+                };
+            }
+            barrier.wait();
+        }
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -617,6 +999,53 @@ mod tests {
         let mut r2 = vec![0.0; aos.n * 4];
         owner_writes_opt(&pool, &plan, &geom, &aos, 1.0, &mut r2);
         assert_close(&r1, &r2, 1e-12, "owner-writes-opt");
+    }
+
+    #[test]
+    fn tiled_matches_scalar() {
+        let (geom, aos, _) = setup();
+        let r1 = run_serial(&geom, &aos);
+        for budget in [1usize, 2048, 65536, usize::MAX] {
+            let tiling = EdgeTiling::build(
+                aos.n,
+                &geom.edges,
+                &fun3d_partition::TilingConfig::with_target_bytes(budget),
+            );
+            let tg = TiledGeom::new(&tiling, &geom);
+            let mut r2 = vec![0.0; aos.n * 4];
+            tiled(&tiling, &tg, &aos, 1.0, TileExec::Staged, &mut r2);
+            // Tiling reorders the edge accumulation: tolerance compare.
+            assert_close(&r1, &r2, 1e-11, "tiled");
+            // Direct execution runs the same arithmetic in the same
+            // order without the scratch pad: bitwise equal to staged.
+            let mut r3 = vec![0.0; aos.n * 4];
+            tiled(&tiling, &tg, &aos, 1.0, TileExec::Direct, &mut r3);
+            assert_eq!(r2, r3, "budget {budget}: direct must match staged bitwise");
+        }
+    }
+
+    #[test]
+    fn tiled_pooled_matches_tiled_bitwise() {
+        let (geom, aos, _) = setup();
+        let tiling = EdgeTiling::build(
+            aos.n,
+            &geom.edges,
+            &fun3d_partition::TilingConfig::with_target_bytes(4096),
+        );
+        let tg = TiledGeom::new(&tiling, &geom);
+        let mut r1 = vec![0.0; aos.n * 4];
+        tiled(&tiling, &tg, &aos, 1.0, TileExec::Staged, &mut r1);
+        for exec in [TileExec::Staged, TileExec::Direct] {
+            for nt in [1usize, 2, 3, 5] {
+                let pool = ThreadPool::new(nt);
+                let mut r2 = vec![0.0; aos.n * 4];
+                tiled_pooled(&pool, &tiling, &tg, &aos, 1.0, exec, &mut r2);
+                // Color-major order makes the per-vertex accumulation
+                // order thread-count independent, and staged vs direct
+                // is a pure traffic trade: bitwise, not just close.
+                assert_eq!(r1, r2, "tiled_pooled {exec:?} nt={nt} must be bitwise equal");
+            }
+        }
     }
 
     #[test]

@@ -10,6 +10,7 @@
 //!   allowed only outside timed regions.
 
 use fun3d_mesh::{DualMesh, Mesh};
+use fun3d_partition::EdgeTiling;
 
 /// Streaming (SoA) edge geometry: dual-face normals and across-edge
 /// coordinate deltas, plus the endpoint list.
@@ -69,6 +70,41 @@ impl EdgeGeom {
     /// doubles + 2 endpoints (u32) + two gathered nodes (4 state + 12
     /// gradient doubles each) + two residual read-modify-writes.
     pub const FLUX_BYTES_PER_EDGE: f64 = (6.0 * 8.0) + 8.0 + 2.0 * 16.0 * 8.0 + 2.0 * 2.0 * 32.0;
+}
+
+/// Edge geometry permuted into an [`EdgeTiling`]'s color-major tile
+/// order: tile `t` owns the contiguous range `tiling.tile_start[t] ..
+/// + tiles[t].edges.len()`, so the tiled kernels walk every geometry
+/// array strictly sequentially — no per-edge id gather, and the
+/// hardware prefetcher covers the whole stream. The endpoint pairs
+/// travel with the permutation, so global scatter indices still come
+/// straight out of `edges`. Built once per tiling, outside timed
+/// regions; the newtype keeps an unpermuted geometry from reaching a
+/// tiled kernel by accident.
+#[derive(Clone, Debug)]
+pub struct TiledGeom(EdgeGeom);
+
+impl TiledGeom {
+    /// Permutes `geom` into `tiling`'s color-major tile order.
+    pub fn new(tiling: &EdgeTiling, geom: &EdgeGeom) -> TiledGeom {
+        assert_eq!(tiling.nedges, geom.nedges());
+        let pick = |src: &[f64]| tiling.perm.iter().map(|&e| src[e as usize]).collect();
+        TiledGeom(EdgeGeom {
+            edges: tiling.perm.iter().map(|&e| geom.edges[e as usize]).collect(),
+            nx: pick(&geom.nx),
+            ny: pick(&geom.ny),
+            nz: pick(&geom.nz),
+            rx: pick(&geom.rx),
+            ry: pick(&geom.ry),
+            rz: pick(&geom.rz),
+        })
+    }
+
+    /// The permuted geometry (tile-range order).
+    #[inline]
+    pub fn geom(&self) -> &EdgeGeom {
+        &self.0
+    }
 }
 
 /// SoA node state: one array per variable (the baseline layout).

@@ -7,9 +7,10 @@
 //! constant field exactly zero.
 
 use crate::bc::BcData;
-use crate::geom::{EdgeGeom, NodeAos};
-use fun3d_partition::OwnerWritesPlan;
-use fun3d_threads::ThreadPool;
+use crate::flux::TileExec;
+use crate::geom::{EdgeGeom, NodeAos, TiledGeom};
+use fun3d_partition::{EdgeTiling, OwnerWritesPlan, Tile};
+use fun3d_threads::{chunk_range, SpinBarrier, ThreadPool};
 
 /// Serial Green-Gauss gradients: reads `node.q`, writes `node.grad`
 /// (comp-major 12 per vertex), using dual volumes `vol`.
@@ -115,6 +116,220 @@ struct SendPtr(*mut f64);
 // SAFETY: disjoint writes per the owner-writes plan.
 unsafe impl Send for SendPtr {}
 unsafe impl Sync for SendPtr {}
+
+/// Per-worker scratch pad for the tiled gradient edge loop: staged state
+/// (4/vertex), local-indexed — the reuse-heavy read side. The gradient
+/// accumulates directly in the global array (exclusive per the coloring,
+/// cache-resident for the tile's lifetime).
+pub struct GradScratch {
+    q: Vec<f64>,
+}
+
+impl GradScratch {
+    /// Scratch for up to `max_verts` staged vertices.
+    pub fn new(max_verts: usize) -> GradScratch {
+        GradScratch {
+            q: vec![0.0; max_verts * 4],
+        }
+    }
+}
+
+/// One tile of the gradient edge loop: stage q, accumulate the edge
+/// contributions into the global grad (exclusive per the coloring).
+///
+/// # Safety
+/// Caller guarantees exclusive `grad` access for this tile's vertices
+/// (inter-tile coloring + barriers, as in the flux kernel).
+unsafe fn tile_grad(
+    tile: &Tile,
+    start: usize,
+    geom: &EdgeGeom,
+    q: &[f64],
+    scratch: &mut GradScratch,
+    grad: *mut f64,
+) {
+    for (l, &v) in tile.verts.iter().enumerate() {
+        let v = v as usize;
+        scratch.q[l * 4..l * 4 + 4].copy_from_slice(&q[v * 4..v * 4 + 4]);
+    }
+    // `geom` is tile-ordered ([`TiledGeom`]): this tile's edges are the
+    // contiguous range starting at `start`, walked sequentially.
+    for idx in 0..tile.edges.len() {
+        let k = start + idx;
+        let (la, lb) = (tile.local[idx][0] as usize, tile.local[idx][1] as usize);
+        let e = geom.edges[k];
+        let (a, b) = (e[0] as usize, e[1] as usize);
+        let s = [geom.nx[k], geom.ny[k], geom.nz[k]];
+        for c in 0..4 {
+            let qf = 0.5 * (scratch.q[la * 4 + c] + scratch.q[lb * 4 + c]);
+            for d in 0..3 {
+                // Exclusive grad access per the caller's coloring contract.
+                *grad.add(a * 12 + c * 3 + d) += qf * s[d];
+                *grad.add(b * 12 + c * 3 + d) -= qf * s[d];
+            }
+        }
+    }
+}
+
+/// One tile of the gradient edge loop, [`TileExec::Direct`] mode: same
+/// edge range, same arithmetic, state gathered straight from the global
+/// array (the tile working set is L2-sized; hardware stages it on first
+/// touch). Bitwise identical to [`tile_grad`].
+///
+/// # Safety
+/// Same exclusivity contract on `grad` as [`tile_grad`].
+unsafe fn tile_grad_direct(
+    ntile_edges: usize,
+    start: usize,
+    geom: &EdgeGeom,
+    q: &[f64],
+    grad: *mut f64,
+) {
+    for idx in 0..ntile_edges {
+        let k = start + idx;
+        let e = geom.edges[k];
+        let (a, b) = (e[0] as usize, e[1] as usize);
+        let s = [geom.nx[k], geom.ny[k], geom.nz[k]];
+        for c in 0..4 {
+            let qf = 0.5 * (q[a * 4 + c] + q[b * 4 + c]);
+            for d in 0..3 {
+                // Exclusive grad access per the caller's coloring contract.
+                *grad.add(a * 12 + c * 3 + d) += qf * s[d];
+                *grad.add(b * 12 + c * 3 + d) -= qf * s[d];
+            }
+        }
+    }
+}
+
+/// Tiled Green-Gauss, serial driver: the edge loop runs tile-by-tile in
+/// color-major order on a scratch pad (see [`crate::flux::tiled`]); the
+/// boundary closure and volume division are the serial epilogue shared
+/// with [`green_gauss`]. Bitwise identical to [`green_gauss_tiled_pooled`]
+/// at every thread count; matches [`green_gauss`] to rounding (the tile
+/// order permutes the per-vertex accumulation).
+pub fn green_gauss_tiled(
+    tiling: &EdgeTiling,
+    geom: &TiledGeom,
+    bc: &BcData,
+    vol: &[f64],
+    exec: TileExec,
+    node: &mut NodeAos,
+) {
+    let n = node.n;
+    assert_eq!(vol.len(), n);
+    let geom = geom.geom();
+    assert_eq!(tiling.nedges, geom.nedges());
+    node.grad.iter_mut().for_each(|x| *x = 0.0);
+    let mut scratch =
+        (exec == TileExec::Staged).then(|| GradScratch::new(tiling.max_tile_verts()));
+    let gp = node.grad.as_mut_ptr();
+    let q = std::mem::take(&mut node.q);
+    for class in &tiling.color_tiles {
+        for &t in class {
+            let t = t as usize;
+            let start = tiling.tile_start[t] as usize;
+            // SAFETY: single-threaded — trivially exclusive.
+            unsafe {
+                match &mut scratch {
+                    Some(s) => tile_grad(&tiling.tiles[t], start, geom, &q, s, gp),
+                    None => tile_grad_direct(
+                        tiling.tiles[t].edges.len(),
+                        start,
+                        geom,
+                        &q,
+                        gp,
+                    ),
+                }
+            };
+        }
+    }
+    node.q = q;
+    gradient_epilogue(bc, vol, node);
+}
+
+/// Tiled Green-Gauss on the persistent pool: one region, colors chunked
+/// over workers with a barrier between colors (see
+/// [`crate::flux::tiled_pooled`]).
+pub fn green_gauss_tiled_pooled(
+    pool: &ThreadPool,
+    tiling: &EdgeTiling,
+    geom: &TiledGeom,
+    bc: &BcData,
+    vol: &[f64],
+    exec: TileExec,
+    node: &mut NodeAos,
+) {
+    let n = node.n;
+    assert_eq!(vol.len(), n);
+    assert_eq!(tiling.nedges, geom.geom().nedges());
+    let nt = pool.size();
+    // Oversubscribed pool: the per-color barriers would cost scheduler
+    // round-trips; the serial driver is bitwise identical (same
+    // color-major order), so use it (see `flux::tiled_pooled`).
+    if nt > fun3d_threads::available_cores() {
+        return green_gauss_tiled(tiling, geom, bc, vol, exec, node);
+    }
+    node.grad.iter_mut().for_each(|x| *x = 0.0);
+    let barrier = SpinBarrier::new(nt);
+    let max_verts = tiling.max_tile_verts();
+    let q = std::mem::take(&mut node.q); // read-only during the region
+    {
+        let gp = SendPtr(node.grad.as_mut_ptr());
+        let q = &q;
+        let pg = geom.geom();
+        pool.run(|tid| {
+            let gp = &gp;
+            let mut scratch =
+                (exec == TileExec::Staged).then(|| GradScratch::new(max_verts));
+            for class in &tiling.color_tiles {
+                for &t in &class[chunk_range(class.len(), nt, tid)] {
+                    let t = t as usize;
+                    let start = tiling.tile_start[t] as usize;
+                    // SAFETY: same-color tiles are vertex-disjoint; the
+                    // barrier orders colors.
+                    unsafe {
+                        match &mut scratch {
+                            Some(s) => {
+                                tile_grad(&tiling.tiles[t], start, pg, q, s, gp.0)
+                            }
+                            None => tile_grad_direct(
+                                tiling.tiles[t].edges.len(),
+                                start,
+                                pg,
+                                q,
+                                gp.0,
+                            ),
+                        }
+                    };
+                }
+                barrier.wait();
+            }
+        });
+    }
+    node.q = q;
+    gradient_epilogue(bc, vol, node);
+}
+
+/// Boundary closure + dual-volume division shared by every Green-Gauss
+/// driver.
+fn gradient_epilogue(bc: &BcData, vol: &[f64], node: &mut NodeAos) {
+    for i in 0..bc.len() {
+        let v = bc.vertex[i] as usize;
+        let nb = [bc.nx[i], bc.ny[i], bc.nz[i]];
+        for c in 0..4 {
+            let qv = node.q[v * 4 + c];
+            for d in 0..3 {
+                node.grad[v * 12 + c * 3 + d] += qv * nb[d];
+            }
+        }
+    }
+    for v in 0..node.n {
+        let inv = 1.0 / vol[v];
+        for f in 0..12 {
+            node.grad[v * 12 + f] *= inv;
+        }
+    }
+}
 
 /// Weighted least-squares gradients (FUN3D's production gradient scheme).
 ///
@@ -368,6 +583,63 @@ mod tests {
             }
         }
         assert!(invert3(&[0.0; 9]).is_none());
+    }
+
+    #[test]
+    fn tiled_matches_serial_to_rounding() {
+        let (geom, bc, vol, mut node) = setup();
+        for (i, x) in node.q.iter_mut().enumerate() {
+            *x = ((i * 53) % 23) as f64 * 0.07 - 0.8;
+        }
+        let mut serial = node.clone();
+        green_gauss(&geom, &bc, &vol, &mut serial);
+        for budget in [1usize, 4096, usize::MAX] {
+            let tiling = EdgeTiling::build(
+                node.n,
+                &geom.edges,
+                &fun3d_partition::TilingConfig::with_target_bytes(budget),
+            );
+            let tg = TiledGeom::new(&tiling, &geom);
+            let mut t = node.clone();
+            green_gauss_tiled(&tiling, &tg, &bc, &vol, TileExec::Staged, &mut t);
+            for i in 0..t.grad.len() {
+                assert!(
+                    (t.grad[i] - serial.grad[i]).abs() <= 1e-11 * (1.0 + serial.grad[i].abs()),
+                    "budget {budget} entry {i}: {} vs {}",
+                    t.grad[i],
+                    serial.grad[i]
+                );
+            }
+            // Direct execution skips the scratch pad but runs the same
+            // arithmetic in the same order: bitwise equal to staged.
+            let mut d = node.clone();
+            green_gauss_tiled(&tiling, &tg, &bc, &vol, TileExec::Direct, &mut d);
+            assert_eq!(t.grad, d.grad, "budget {budget}: direct vs staged");
+        }
+    }
+
+    #[test]
+    fn tiled_pooled_matches_tiled_bitwise() {
+        let (geom, bc, vol, mut node) = setup();
+        for (i, x) in node.q.iter_mut().enumerate() {
+            *x = ((i * 29) % 17) as f64 * 0.09 - 0.7;
+        }
+        let tiling = EdgeTiling::build(
+            node.n,
+            &geom.edges,
+            &fun3d_partition::TilingConfig::with_target_bytes(4096),
+        );
+        let tg = TiledGeom::new(&tiling, &geom);
+        let mut serial = node.clone();
+        green_gauss_tiled(&tiling, &tg, &bc, &vol, TileExec::Staged, &mut serial);
+        for exec in [TileExec::Staged, TileExec::Direct] {
+            for nt in [1usize, 2, 4] {
+                let pool = ThreadPool::new(nt);
+                let mut par = node.clone();
+                green_gauss_tiled_pooled(&pool, &tiling, &tg, &bc, &vol, exec, &mut par);
+                assert_eq!(serial.grad, par.grad, "{exec:?} nt={nt}");
+            }
+        }
     }
 
     #[test]

@@ -39,4 +39,4 @@ pub mod limiter;
 
 pub use app::{Fun3dApp, OptConfig};
 pub use euler::{FlowConditions, NVARS};
-pub use geom::{EdgeGeom, NodeAos, NodeSoa};
+pub use geom::{EdgeGeom, NodeAos, NodeSoa, TiledGeom};

@@ -32,6 +32,15 @@ pub struct MachineSpec {
     pub barrier_base_ns: f64,
     /// Cost of one P2P flag wait that is already satisfied, nanoseconds.
     pub p2p_wait_ns: f64,
+    /// Per-core private L2 capacity, bytes. The locality tiler sizes its
+    /// scratch-pad working set to stay resident here (L1 is too small for
+    /// a useful tile, L3 is shared and already covered by RCM locality).
+    pub l2_bytes: usize,
+    /// Shared last-level cache capacity, bytes. The tile-execution
+    /// policy compares the node working set against this: explicit
+    /// scratch-pad staging only pays off when the gathers would
+    /// otherwise miss to DRAM.
+    pub llc_bytes: usize,
 }
 
 impl MachineSpec {
@@ -52,6 +61,8 @@ impl MachineSpec {
             atomic_ns: 18.0,
             barrier_base_ns: 250.0,
             p2p_wait_ns: 35.0,
+            l2_bytes: 256 * 1024, // Ivy Bridge EP: 256 KiB private L2/core
+            llc_bytes: 25 * 1024 * 1024, // 25 MiB shared L3
         }
     }
 
@@ -72,6 +83,8 @@ impl MachineSpec {
             atomic_ns: 20.0,
             barrier_base_ns: 280.0,
             p2p_wait_ns: 40.0,
+            l2_bytes: 256 * 1024, // Sandy Bridge EP: 256 KiB private L2/core
+            llc_bytes: 20 * 1024 * 1024, // 20 MiB shared L3
         }
     }
 
@@ -98,6 +111,10 @@ impl MachineSpec {
             peak_bw_gbs: proto.peak_bw_gbs * (cores as f64 / proto.cores as f64).min(1.0),
             bw_saturation_cores: proto.bw_saturation_cores.min(cores as f64),
             smt_yield: 1.0,
+            l2_bytes: detect_cache_bytes(2, 64 * 1024..=4 * 1024 * 1024)
+                .unwrap_or(proto.l2_bytes),
+            llc_bytes: detect_cache_bytes(3, 1024 * 1024..=1024 * 1024 * 1024)
+                .unwrap_or(proto.llc_bytes),
             ..proto
         }
     }
@@ -154,6 +171,37 @@ impl MachineSpec {
         }
         self.seconds(worst)
     }
+}
+
+/// Reads cpu0's data/unified cache capacity at `level` from sysfs
+/// (Linux), e.g. "2048K" or "260M". Returns `None` off-Linux, in
+/// sandboxes that hide sysfs, or for readings outside `plausible` —
+/// the caller falls back to the preset value.
+fn detect_cache_bytes(
+    level: u32,
+    plausible: std::ops::RangeInclusive<usize>,
+) -> Option<usize> {
+    let base = "/sys/devices/system/cpu/cpu0/cache";
+    for idx in 0..6 {
+        let lvl = std::fs::read_to_string(format!("{base}/index{idx}/level")).ok()?;
+        if lvl.trim() != level.to_string() {
+            continue;
+        }
+        let ty = std::fs::read_to_string(format!("{base}/index{idx}/type")).ok()?;
+        if ty.trim() == "Instruction" {
+            continue;
+        }
+        let size = std::fs::read_to_string(format!("{base}/index{idx}/size")).ok()?;
+        let size = size.trim();
+        let (digits, mult) = match size.as_bytes().last()? {
+            b'K' => (&size[..size.len() - 1], 1024),
+            b'M' => (&size[..size.len() - 1], 1024 * 1024),
+            _ => (size, 1),
+        };
+        let bytes = digits.parse::<usize>().ok()? * mult;
+        return plausible.contains(&bytes).then_some(bytes);
+    }
+    None
 }
 
 #[cfg(test)]
@@ -225,6 +273,21 @@ mod tests {
         assert!(h.bw_saturation_cores <= h.cores as f64 + 1e-9 || h.cores >= 4);
         // Bandwidth at full occupancy reaches the STREAM figure.
         assert!((h.bandwidth_at(h.cores.max(4)) - h.stream_gbs).abs() < 1e-9);
+    }
+
+    #[test]
+    fn l2_capacity_present() {
+        // The tiler divides by this; it must be a plausible per-core L2
+        // on every preset (64 KiB..4 MiB covers everything we model).
+        for m in [
+            MachineSpec::xeon_e5_2690v2(),
+            MachineSpec::xeon_e5_2680(),
+            MachineSpec::host(),
+        ] {
+            assert!(m.l2_bytes >= 64 * 1024, "{}: l2 too small", m.name);
+            assert!(m.l2_bytes <= 4 * 1024 * 1024, "{}: l2 too big", m.name);
+            assert!(m.llc_bytes >= m.l2_bytes, "{}: llc below l2", m.name);
+        }
     }
 
     #[test]

@@ -22,17 +22,27 @@
 //! vertex partition into per-thread edge work lists with replication
 //! accounting, and [`coloring`] provides the edge-coloring alternative the
 //! paper rejects (kept for the ablation study).
+//!
+//! [`tiling`] adds the fourth write-conflict strategy beyond the paper:
+//! cache-blocked edge tiles with scratch-pad staging. Edges are grouped
+//! into tiles whose touched-vertex working set fits in a core's private
+//! L2; a tile's vertex data is gathered once into a dense scratch pad,
+//! all its edges accumulate there with full reuse, and conflicts are
+//! resolved by coloring *across* tiles (not across edges), preserving the
+//! intra-tile locality that per-edge coloring destroys.
 
 pub mod coloring;
 pub mod metrics;
 pub mod multilevel;
 pub mod natural;
 pub mod replication;
+pub mod tiling;
 
-pub use metrics::{cut_edges, imbalance, PartitionQuality};
+pub use metrics::{cut_edges, imbalance, PartitionQuality, TileQuality};
 pub use multilevel::{partition_graph, MultilevelConfig};
 pub use natural::natural_partition;
 pub use replication::OwnerWritesPlan;
+pub use tiling::{EdgeTiling, Tile, TilingConfig};
 
 /// A vertex partition: `part[v]` is the part (thread) owning vertex `v`.
 pub type Partition = Vec<u32>;

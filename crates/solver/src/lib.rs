@@ -37,6 +37,6 @@ pub mod vecops;
 pub use anomaly::{Anomaly, AnomalyConfig, AnomalyDetector};
 pub use gmres::{Gmres, GmresConfig, GmresExec, GmresOutcome, GmresResult};
 pub use op::{FdJacobian, LinearOperator, ShiftedOperator};
-pub use policy::{AutoPolicy, Decision, ExecMode};
+pub use policy::{AutoPolicy, Decision, ExecMode, FluxScheme};
 pub use precond::{BlockJacobiIlu, IdentityPrecond, IluApply, Preconditioner, SerialIlu};
 pub use ptc::{PtcConfig, PtcProblem, PtcStats};

@@ -63,6 +63,76 @@ impl ExecMode {
     }
 }
 
+/// Residual-path edge-kernel scheme: how the flux/gradient loops resolve
+/// their write conflicts and schedule their memory traffic.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FluxScheme {
+    /// The paper's streaming kernels: serial SIMD+prefetch at one
+    /// thread, owner-writes replication on the pool.
+    Stream,
+    /// Cache-blocked tiles with scratch-pad staging and inter-tile
+    /// coloring (`flux::tiled` / `tiled_pooled`).
+    Tiled,
+    /// Resolve Stream vs Tiled per mesh from the machine model (see
+    /// [`FluxScheme::resolve`]).
+    Auto,
+}
+
+/// Staged residual-path bytes per vertex (state 4 + gradient 12 +
+/// residual 4 doubles) — the working set the tiling decision weighs
+/// against the private L2. Mirrors `fun3d_partition::tiling`'s
+/// `TILE_BYTES_PER_VERTEX`.
+pub const RESIDUAL_BYTES_PER_VERTEX: usize = (4 + 12 + 4) * 8;
+
+impl FluxScheme {
+    /// Canonical name (the form [`FluxScheme::parse`] accepts).
+    pub fn name(self) -> &'static str {
+        match self {
+            FluxScheme::Stream => "stream",
+            FluxScheme::Tiled => "tiled",
+            FluxScheme::Auto => "auto",
+        }
+    }
+
+    /// Parses `stream|tiled|auto`.
+    pub fn parse(s: &str) -> Option<FluxScheme> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "stream" => Some(FluxScheme::Stream),
+            "tiled" => Some(FluxScheme::Tiled),
+            "auto" => Some(FluxScheme::Auto),
+            _ => None,
+        }
+    }
+
+    /// The `FUN3D_FLUX` override, if set and valid.
+    pub fn from_env() -> Option<FluxScheme> {
+        std::env::var("FUN3D_FLUX").ok().and_then(|v| FluxScheme::parse(&v))
+    }
+
+    /// Resolves `Auto` for a mesh of `nvertices` vertices run on
+    /// `nthreads` threads: tile when the residual-path node working set
+    /// overflows the private L2 capacity of the cores in use — the
+    /// regime where the streaming kernels' per-edge gathers miss cache
+    /// and staging pays for itself. Below it the node arrays are already
+    /// cache-resident and tiling only adds stage/scatter overhead.
+    /// `Stream` and `Tiled` return themselves (explicit configuration
+    /// wins). Never returns `Auto`.
+    pub fn resolve(self, machine: &MachineSpec, nvertices: usize, nthreads: usize) -> FluxScheme {
+        match self {
+            FluxScheme::Auto => {
+                let working_set = nvertices * RESIDUAL_BYTES_PER_VERTEX;
+                let l2_total = machine.l2_bytes * nthreads.clamp(1, machine.cores);
+                if working_set > l2_total {
+                    FluxScheme::Tiled
+                } else {
+                    FluxScheme::Stream
+                }
+            }
+            concrete => concrete,
+        }
+    }
+}
+
 /// Regions a region-per-op GMRES iteration launches (SpMV + bsub + mdot
 /// + maxpy + norm + div, preconditioner sweeps riding along): measured
 /// ~7.3–7.9 on the gated meshes; the model rounds up.
@@ -345,6 +415,34 @@ mod tests {
         }
         assert_eq!(ExecMode::parse("PER_OP"), Some(ExecMode::PerOp));
         assert_eq!(ExecMode::parse("nope"), None);
+    }
+
+    #[test]
+    fn flux_scheme_resolves_by_working_set() {
+        let m = MachineSpec::xeon_e5_2690v2(); // 256 KiB L2/core
+        // Tiny fixture (~175 vertices, 28 KB): cache-resident, stream.
+        assert_eq!(FluxScheme::Auto.resolve(&m, 175, 1), FluxScheme::Stream);
+        // Medium mesh (~26k vertices, 4.1 MB): overflows even 10 cores'
+        // combined private L2 — tiled.
+        assert_eq!(FluxScheme::Auto.resolve(&m, 25_625, 1), FluxScheme::Tiled);
+        assert_eq!(FluxScheme::Auto.resolve(&m, 25_625, 10), FluxScheme::Tiled);
+        // More threads = more combined L2: the boundary moves up.
+        let boundary = m.l2_bytes / RESIDUAL_BYTES_PER_VERTEX;
+        assert_eq!(FluxScheme::Auto.resolve(&m, boundary, 1), FluxScheme::Stream);
+        assert_eq!(FluxScheme::Auto.resolve(&m, boundary + 1, 1), FluxScheme::Tiled);
+        assert_eq!(FluxScheme::Auto.resolve(&m, boundary + 1, 2), FluxScheme::Stream);
+        // Explicit schemes win regardless of size.
+        assert_eq!(FluxScheme::Stream.resolve(&m, usize::MAX / 1024, 1), FluxScheme::Stream);
+        assert_eq!(FluxScheme::Tiled.resolve(&m, 1, 1), FluxScheme::Tiled);
+    }
+
+    #[test]
+    fn flux_scheme_names_round_trip() {
+        for s in [FluxScheme::Stream, FluxScheme::Tiled, FluxScheme::Auto] {
+            assert_eq!(FluxScheme::parse(s.name()), Some(s));
+        }
+        assert_eq!(FluxScheme::parse(" TILED "), Some(FluxScheme::Tiled));
+        assert_eq!(FluxScheme::parse("nope"), None);
     }
 
     #[test]

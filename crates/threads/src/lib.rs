@@ -36,6 +36,16 @@ pub use pool::{adaptive_spin_default, Bell, JobPtr, ThreadPool};
 pub use probe::SyncCosts;
 pub use team::{Team, TeamMember, TeamSlice, TreeReduce};
 
+/// Schedulable cores as the OS reports them (`available_parallelism`,
+/// which respects affinity masks and cgroup quotas), 1 on failure.
+/// Kernels with barrier phases consult this to avoid spinning an
+/// oversubscribed pool through scheduler round-trips.
+pub fn available_cores() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
 /// Splits `0..n` into `nthreads` near-equal contiguous chunks and returns
 /// chunk `tid` as a half-open range. The first `n % nthreads` chunks get
 /// one extra element, so sizes differ by at most one.

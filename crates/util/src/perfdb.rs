@@ -201,10 +201,11 @@ pub struct Verdict {
     pub improved: bool,
 }
 
-/// Metrics named `*speedup*` are ratios where bigger is better; every
-/// other metric is a cost where smaller is better.
+/// Metrics named `*speedup*` (ratios), `*gbps*` (effective bandwidth)
+/// or `*reuse*` (tile edges-per-slot) are bigger-is-better; every other
+/// metric is a cost where smaller is better.
 pub fn higher_is_better(metric: &str) -> bool {
-    metric.contains("speedup")
+    metric.contains("speedup") || metric.contains("gbps") || metric.contains("reuse")
 }
 
 fn median_of(xs: &mut [f64]) -> f64 {
@@ -488,6 +489,22 @@ mod tests {
         let mut slow = costs.clone();
         slow.push(entry("bad", &[("team.s_iter@2t", 3.0)]));
         let v = &judge(&slow, &GateConfig::default())[0];
+        assert!(v.regressed && !v.improved, "{v:?}");
+    }
+
+    #[test]
+    fn bandwidth_metrics_are_higher_is_better() {
+        // Effective-GB/s metrics (the tiled_flux artifact) regress when
+        // they FALL: a kernel losing bandwidth got slower.
+        assert!(higher_is_better("large.flux_tiled.gbps@4t"));
+        assert!(higher_is_better("medium.tile_reuse"));
+        assert!(!higher_is_better("medium.flux_tiled.s_iter@4t"));
+        let base: Vec<PerfEntry> = (0..5)
+            .map(|i| entry(&format!("c{i}"), &[("large.flux_tiled.gbps@4t", 10.0)]))
+            .collect();
+        let mut worse = base.clone();
+        worse.push(entry("bad", &[("large.flux_tiled.gbps@4t", 5.0)]));
+        let v = &judge(&worse, &GateConfig::default())[0];
         assert!(v.regressed && !v.improved, "{v:?}");
     }
 

@@ -47,6 +47,20 @@ DATE=$(date -u +%Y-%m-%dT%H:%M:%SZ)
 
 echo "[solver benchmark snapshot written to BENCH_solver.json]"
 
+# Tiled edge-kernel ablation rides the same snapshot: measured effective
+# GB/s of tiled vs owner-writes vs serial-best on the same meshes. The
+# binary aborts on any equivalence miss before timing, and --check
+# validates the artifact; its gbps keys append to the same history
+# below.
+cargo run --release --offline -q -p fun3d-bench --bin tiled_flux -- \
+    --meshes "$MESHES" --threads "$THREADS" --reps "$REPS"
+TILED_ARTIFACT=target/experiments/tiled_flux.json
+if [ ! -f "$TILED_ARTIFACT" ]; then
+    echo "FAIL: $TILED_ARTIFACT not produced" >&2
+    exit 1
+fi
+cargo run --release --offline -q -p fun3d-bench --bin tiled_flux -- --check "$TILED_ARTIFACT"
+
 # Append the distilled metrics (one entry per snapshot, metric keys
 # qualified by mesh) to the performance history, evaluate the scaling
 # rule on the artifact, and judge the new entry against the baseline
@@ -56,6 +70,10 @@ cargo run --release --offline -q -p fun3d-bench --bin perf_regress -- \
     --append "$ARTIFACT" --history BENCH_history.jsonl \
     --commit "$COMMIT" --date "$DATE" \
     --config "meshes=$MESHES" --config "reps=$REPS" --config "threads=$THREADS"
+cargo run --release --offline -q -p fun3d-bench --bin perf_regress -- \
+    --append "$TILED_ARTIFACT" --history BENCH_history.jsonl \
+    --commit "$COMMIT" --date "$DATE" \
+    --config "meshes=$MESHES" --config "threads=$THREADS"
 cargo run --release --offline -q -p fun3d-bench --bin perf_regress -- \
     --history BENCH_history.jsonl
 

@@ -127,6 +127,22 @@ fi
 cargo run --release --offline -q -p fun3d-bench --bin sync_ablation -- --check target/experiments/sync_ablation.json
 echo "ok: sync ablation artifact present and parsable"
 
+echo "== tiled edge kernels (locality tiling gate) =="
+# The tiled strategy's standing proof: the binary verifies every timed
+# variant (tiled serial + pooled, both exec modes via the staged
+# ablation row, owner-writes) against the serial SoA reference *before*
+# timing — an equivalence miss exits nonzero here. --check then
+# validates the artifact shape: tile-quality invariants (reuse >= 0.5,
+# >= 1 tile/color) and finite positive timings for every variant row.
+cargo run --release --offline -q -p fun3d-bench --bin tiled_flux -- \
+    --meshes tiny,small --threads 1,2 --reps 3
+if [ ! -f target/experiments/tiled_flux.json ]; then
+    echo "FAIL: missing tiled_flux artifact"
+    exit 1
+fi
+cargo run --release --offline -q -p fun3d-bench --bin tiled_flux -- --check target/experiments/tiled_flux.json
+echo "ok: tiled kernels agree with the serial reference; artifact parsable"
+
 echo "== perf history + scaling gate (perf_regress) =="
 # Detector self-check first: a synthetic history with an injected 3x
 # slowdown AND a synthetic mesh where threads run slower than serial
@@ -153,6 +169,12 @@ for i in 1 2 3; do
     FUN3D_PERF_GATE=hard cargo run --release --offline -q -p fun3d-bench --bin perf_regress -- \
         --append target/experiments/sync_ablation.json --history "$PERF_HIST" \
         --commit "verify-$i" --date "verify" --config meshes=tiny,small >/dev/null
+    # The tiled artifact rides the same history: its higher-is-better
+    # gbps keys (e.g. small.flux_tiled.gbps@2t) exercise the bandwidth
+    # orientation in perfdb under the hard gate.
+    FUN3D_PERF_GATE=hard cargo run --release --offline -q -p fun3d-bench --bin perf_regress -- \
+        --append target/experiments/tiled_flux.json --history "$PERF_HIST" \
+        --commit "verify-$i" --date "verify" >/dev/null
 done
 cargo run --release --offline -q -p fun3d-bench --bin perf_regress -- --history "$PERF_HIST"
 FUN3D_PERF_GATE=hard cargo run --release --offline -q -p fun3d-bench \
