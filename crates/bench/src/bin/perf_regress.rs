@@ -158,6 +158,65 @@ fn distill(doc: &Json) -> Result<(Vec<(String, String)>, Vec<(String, f64)>), St
         }
         return Ok((config, metrics));
     }
+    if doc.get("kind").and_then(Json::as_str) == Some("load_gen") {
+        if let Some(svc) = doc.get("service") {
+            for key in ["teams", "team_threads"] {
+                if let Some(v) = svc.get(key).and_then(Json::as_f64) {
+                    config.push((key.to_string(), format!("{v}")));
+                }
+            }
+        }
+        let ab = doc
+            .get("ablation")
+            .ok_or("load_gen artifact without 'ablation'")?;
+        let speedup = ab
+            .get("speedup")
+            .and_then(Json::as_f64)
+            .ok_or("ablation without 'speedup'")?;
+        metrics.push(("serve.cache_speedup".to_string(), speedup));
+        for pass in ["cold", "warm"] {
+            let rps = ab
+                .get(pass)
+                .and_then(|p| p.get("rps"))
+                .and_then(Json::as_f64)
+                .ok_or("ablation pass without 'rps'")?;
+            metrics.push((format!("serve.{pass}.rps"), rps));
+        }
+        if let Some(h) = ab
+            .get("warm")
+            .and_then(|p| p.get("hit_rate"))
+            .and_then(Json::as_f64)
+        {
+            metrics.push(("serve.warm.hit_rate".to_string(), h));
+        }
+        let phases = doc
+            .get("phases")
+            .and_then(Json::as_arr)
+            .ok_or("load_gen artifact without 'phases'")?;
+        for p in phases {
+            let rate = p
+                .get("rate_hz")
+                .and_then(Json::as_f64)
+                .ok_or("phase without 'rate_hz'")?;
+            let tag = format!("rate{rate}");
+            for (key, suffix) in [
+                ("rps", "rps"),
+                ("p50_ms", "p50_ms"),
+                ("p99_ms", "p99_ms"),
+                ("hit_rate", "hit_rate"),
+            ] {
+                let v = p
+                    .get(key)
+                    .and_then(Json::as_f64)
+                    .ok_or_else(|| format!("phase without '{key}'"))?;
+                metrics.push((format!("serve.{tag}.{suffix}"), v));
+            }
+        }
+        if metrics.is_empty() {
+            return Err("artifact distilled to zero metrics".to_string());
+        }
+        return Ok((config, metrics));
+    }
     if let Some(meshes) = doc.get("meshes").and_then(Json::as_arr) {
         if let Some(reps) = doc.get("reps").and_then(Json::as_f64) {
             config.push(("reps".to_string(), format!("{reps}")));
@@ -621,6 +680,116 @@ fn do_self_test() -> i32 {
         }
     }
     println!("self-test: tiled_flux artifact distills to gbps metrics");
+
+    // Serving-latency canary: a flat p99 history with an injected 4×
+    // tail blow-up. Latency keys are lower-is-better (they contain
+    // "p99"), so the spike must read as a REGRESSION even though the
+    // raw number went *up*; the flat throughput companion — higher is
+    // better — must stay clean.
+    let mut serve_entries: Vec<PerfEntry> = (0..6)
+        .map(|i| PerfEntry {
+            commit: format!("serve-base{i}"),
+            date: "synthetic".to_string(),
+            config: vec![("origin".to_string(), "self-test".to_string())],
+            metrics: vec![
+                (
+                    "serve.rate4.p99_ms".to_string(),
+                    50.0 * (1.0 + 0.02 * (i % 3) as f64),
+                ),
+                ("serve.warm.rps".to_string(), 25.0),
+            ],
+        })
+        .collect();
+    serve_entries.push(PerfEntry {
+        commit: "injected-p99-blow-up".to_string(),
+        date: "synthetic".to_string(),
+        config: vec![("origin".to_string(), "self-test".to_string())],
+        metrics: vec![
+            ("serve.rate4.p99_ms".to_string(), 200.0),
+            ("serve.warm.rps".to_string(), 25.0),
+        ],
+    });
+    let serve_verdicts = perfdb::judge(&serve_entries, &GateConfig::default());
+    let p99 = serve_verdicts
+        .iter()
+        .find(|v| v.metric == "serve.rate4.p99_ms")
+        .expect("synthetic p99 metric missing");
+    let rps = serve_verdicts
+        .iter()
+        .find(|v| v.metric == "serve.warm.rps")
+        .expect("synthetic rps metric missing");
+    if perfdb::higher_is_better("serve.rate4.p99_ms")
+        || !perfdb::higher_is_better("serve.warm.rps")
+        || !perfdb::higher_is_better("serve.warm.hit_rate")
+        || !perfdb::higher_is_better("serve.cache_speedup")
+    {
+        eprintln!("perf_regress: SELF-TEST FAILED — serve metric orientation wrong");
+        return 2;
+    }
+    if !(p99.judged && p99.regressed) {
+        eprintln!("perf_regress: SELF-TEST FAILED — injected p99 blow-up not detected");
+        return 2;
+    }
+    if rps.regressed || rps.improved {
+        eprintln!("perf_regress: SELF-TEST FAILED — flat rps metric falsely flagged");
+        return 2;
+    }
+    println!("self-test: injected p99 blow-up detected (ratio {:.2}), throughput clean", p99.ratio);
+
+    // load_gen distill canary: the kind marker must dispatch to the
+    // serving branch and produce the latency/throughput keys.
+    let load = Json::obj(vec![
+        ("kind", Json::str("load_gen")),
+        (
+            "service",
+            Json::obj(vec![
+                ("teams", Json::num(2.0)),
+                ("team_threads", Json::num(2.0)),
+            ]),
+        ),
+        (
+            "ablation",
+            Json::obj(vec![
+                (
+                    "cold",
+                    Json::obj(vec![("rps", Json::num(5.0))]),
+                ),
+                (
+                    "warm",
+                    Json::obj(vec![
+                        ("rps", Json::num(13.0)),
+                        ("hit_rate", Json::num(1.0)),
+                    ]),
+                ),
+                ("speedup", Json::num(2.6)),
+            ]),
+        ),
+        (
+            "phases",
+            Json::Arr(vec![Json::obj(vec![
+                ("rate_hz", Json::num(4.0)),
+                ("rps", Json::num(4.1)),
+                ("p50_ms", Json::num(70.0)),
+                ("p99_ms", Json::num(120.0)),
+                ("hit_rate", Json::num(1.0)),
+            ])]),
+        ),
+    ]);
+    match distill(&load) {
+        Ok((_, m)) => {
+            for key in ["serve.cache_speedup", "serve.rate4.rps", "serve.rate4.p99_ms"] {
+                if !m.iter().any(|(k, _)| k == key) {
+                    eprintln!("perf_regress: SELF-TEST FAILED — load_gen distill missing {key}");
+                    return 2;
+                }
+            }
+        }
+        Err(e) => {
+            eprintln!("perf_regress: SELF-TEST FAILED — load_gen distill: {e}");
+            return 2;
+        }
+    }
+    println!("self-test: load_gen artifact distills to serving metrics");
     let canary_code = enforce_scaling_rule(&canary, gate);
 
     if gate == Gate::Hard && (regressions > 0 || canary_code != 0) {

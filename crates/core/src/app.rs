@@ -257,6 +257,19 @@ pub struct Fun3dApp {
     pub residual_evals: usize,
     /// Pseudo-time steps since the factors were last rebuilt.
     precond_age: usize,
+    /// Factors to seed the *first* preconditioner build of the next
+    /// solve with, skipping its Jacobian assembly + factorization. Only
+    /// bitwise-safe when the seed came from an identical problem: ΨTC's
+    /// first build always happens at `dt = dt0` on the free-stream
+    /// state, so the first factors are a pure function of (mesh, cfg,
+    /// conditions, dt0) — the serve tier keys its factor cache on
+    /// exactly that. The solve's operator is matrix-free (`FdJacobian`),
+    /// so the skipped assembled matrix feeds nothing else.
+    factor_seed: Option<Arc<IluFactors>>,
+    /// First-build factors captured for the cross-request cache
+    /// (`None` unless [`Fun3dApp::capture_first_factors`] is on).
+    first_factors: Option<Arc<IluFactors>>,
+    capture_first: bool,
 }
 
 impl Fun3dApp {
@@ -271,6 +284,28 @@ impl Fun3dApp {
     /// Builds the application over a mesh. The mesh should already be
     /// RCM-reordered for the optimized configurations.
     pub fn new(mesh: Mesh, cond: FlowConditions, cfg: OptConfig) -> Fun3dApp {
+        let pool = (cfg.nthreads > 1).then(|| Arc::new(ThreadPool::new(cfg.nthreads)));
+        Fun3dApp::with_pool(mesh, cond, cfg, pool)
+    }
+
+    /// [`Fun3dApp::new`] with the worker pool supplied by the caller —
+    /// the serve tier hands one persistent per-team pool to every app it
+    /// builds instead of churning a fresh pool per request. The pool
+    /// size must match `cfg.nthreads`; `None` requires a serial config.
+    pub fn with_pool(
+        mesh: Mesh,
+        cond: FlowConditions,
+        cfg: OptConfig,
+        pool: Option<Arc<ThreadPool>>,
+    ) -> Fun3dApp {
+        match &pool {
+            Some(p) => assert_eq!(
+                p.size(),
+                cfg.nthreads,
+                "supplied pool size must match cfg.nthreads"
+            ),
+            None => assert_eq!(cfg.nthreads, 1, "threaded config needs a pool"),
+        }
         let dual = DualMesh::build(&mesh);
         let geom = EdgeGeom::build(&mesh, &dual);
         let bc = BcData::build(&dual);
@@ -291,7 +326,6 @@ impl Fun3dApp {
         let tiled_geom = tiling.as_ref().map(|tl| TiledGeom::new(tl, &geom));
         let tile_exec = flux::TileExec::auto(&machine, nv);
 
-        let pool = (cfg.nthreads > 1).then(|| Arc::new(ThreadPool::new(cfg.nthreads)));
         let plan = pool.as_ref().map(|_| {
             let part = if cfg.metis_partition {
                 let graph = fun3d_mesh::Graph::from_edges(nv, &geom.edges);
@@ -364,7 +398,44 @@ impl Fun3dApp {
             lsq,
             residual_evals: 0,
             precond_age: 0,
+            factor_seed: None,
+            first_factors: None,
+            capture_first: false,
         }
+    }
+
+    /// Clears per-solve state so the instance can serve another request
+    /// with bitwise-identical results to a fresh build: drops the stale
+    /// preconditioner (a lagged `ilu_lag > 1` config would otherwise
+    /// reuse last request's factors), zeroes the counters, and resets
+    /// the timers. The expensive immutable artifacts — reordered mesh,
+    /// dual metrics, partitions, tilings, ILU pattern, schedules, pool —
+    /// are exactly what stays.
+    pub fn reset_for_reuse(&mut self) {
+        self.precond = None;
+        self.precond_age = 0;
+        self.residual_evals = 0;
+        self.factor_seed = None;
+        self.first_factors = None;
+        *self.timers.borrow_mut() = PhaseTimers::new();
+    }
+
+    /// Seeds the next solve's first preconditioner build (see the field
+    /// doc for the identical-problem contract).
+    pub fn set_factor_seed(&mut self, seed: Option<Arc<IluFactors>>) {
+        self.factor_seed = seed;
+    }
+
+    /// Captures the first build's factors for [`Fun3dApp::first_factors`]
+    /// (off by default — it keeps an extra copy of the factors alive).
+    pub fn capture_first_factors(&mut self, on: bool) {
+        self.capture_first = on;
+    }
+
+    /// The first preconditioner build of the current solve, if captured
+    /// — what the serve tier inserts into its cross-request factor cache.
+    pub fn first_factors(&self) -> Option<Arc<IluFactors>> {
+        self.first_factors.clone()
     }
 
     /// Number of scalar unknowns.
@@ -553,24 +624,39 @@ impl PtcProblem for Fun3dApp {
             }
         }
         self.precond_age = 0;
-        self.node.q.copy_from_slice(u);
-        {
-            let t = std::time::Instant::now();
-            let _span = telemetry::span("jacobian");
-            telemetry::record_kernel(
-                "jacobian",
-                crate::counts::jacobian(self.geom.nedges(), self.node.n),
-            );
-            jacobian::assemble(&self.geom, &self.bc, &self.node, &self.cond, &mut self.jac);
-            jacobian::add_time_diagonal(&mut self.jac, time_diag);
-            self.timers.borrow_mut().add("jacobian", t.elapsed());
-        }
-        let factors = {
+        let first_build = self.precond.is_none();
+        let seed = if first_build { self.factor_seed.take() } else { None };
+        let factors = if let Some(seed) = seed {
+            // Seeded first build: the factors are a pure function of the
+            // problem key at dt0 (see `factor_seed`), so adopt them and
+            // skip both the Jacobian assembly and the factorization.
+            // The solve's operator is matrix-free, so nothing else reads
+            // the skipped assembled matrix before the next rebuild.
+            if self.capture_first {
+                self.first_factors = Some(Arc::clone(&seed));
+            }
+            (*seed).clone()
+        } else {
+            self.node.q.copy_from_slice(u);
+            {
+                let t = std::time::Instant::now();
+                let _span = telemetry::span("jacobian");
+                telemetry::record_kernel(
+                    "jacobian",
+                    crate::counts::jacobian(self.geom.nedges(), self.node.n),
+                );
+                jacobian::assemble(&self.geom, &self.bc, &self.node, &self.cond, &mut self.jac);
+                jacobian::add_time_diagonal(&mut self.jac, time_diag);
+                self.timers.borrow_mut().add("jacobian", t.elapsed());
+            }
             let t = std::time::Instant::now();
             let _span = telemetry::span("ilu");
             let f = ilu::factor(&self.jac, &self.ilu_pattern, ilu::TempBuffer::Compressed);
             telemetry::record_kernel("ilu", crate::counts::ilu_factor(&f));
             self.timers.borrow_mut().add("ilu", t.elapsed());
+            if first_build && self.capture_first {
+                self.first_factors = Some(Arc::new(f.clone()));
+            }
             f
         };
         let mode = match self.cfg.ilu_parallel {
@@ -808,6 +894,37 @@ mod tests {
         let mut app = build(cfg);
         let (_, stats) = app.run(&solve_config());
         assert!(stats.converged);
+    }
+
+    #[test]
+    fn reuse_and_factor_seed_are_bitwise_identical() {
+        // The serve tier's two reuse layers, pinned at the app level:
+        // (1) a reset instance re-solves bitwise-identically to a fresh
+        // build, (2) seeding the first preconditioner build from a
+        // previous run's captured factors skips one assembly+factor
+        // without changing a single bit of the solution or history.
+        let mut fresh = build(OptConfig::baseline());
+        let (u_ref, s_ref) = fresh.run(&solve_config());
+        assert!(s_ref.converged);
+        let fresh_factor_calls = fresh.profile().calls("ilu");
+
+        let mut app = build(OptConfig::baseline());
+        app.capture_first_factors(true);
+        let (u1, s1) = app.run(&solve_config());
+        assert_eq!(u1, u_ref);
+        assert_eq!(s1.res_history, s_ref.res_history);
+        let seed = app.first_factors().expect("first factors captured");
+
+        app.reset_for_reuse();
+        app.set_factor_seed(Some(seed));
+        let (u2, s2) = app.run(&solve_config());
+        assert_eq!(u2, u_ref, "seeded reuse must be bitwise identical");
+        assert_eq!(s2.res_history, s_ref.res_history);
+        assert_eq!(
+            app.profile().calls("ilu") + 1,
+            fresh_factor_calls,
+            "the seeded first build must skip exactly one factorization"
+        );
     }
 
     #[test]

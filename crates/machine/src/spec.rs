@@ -96,7 +96,17 @@ impl MachineSpec {
     /// chooser, which only needs the *shape* of the bandwidth ramp and
     /// the barrier-cost growth — measured sync costs are layered on top
     /// by the calibration probe.
+    ///
+    /// Detected once per process (the sysfs cache-topology probe walks
+    /// several files): the first call populates a `OnceLock`, every
+    /// later call — e.g. per-request policy decisions in `fun3d-serve`
+    /// — copies the cached value.
     pub fn host() -> MachineSpec {
+        static HOST: std::sync::OnceLock<MachineSpec> = std::sync::OnceLock::new();
+        *HOST.get_or_init(Self::detect_host)
+    }
+
+    fn detect_host() -> MachineSpec {
         let cores = std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1);

@@ -26,6 +26,7 @@
 //!   residual falls, driving Newton to the steady state.
 
 pub mod anomaly;
+pub mod factor_cache;
 pub mod gmres;
 pub mod op;
 pub mod policy;
@@ -35,6 +36,7 @@ pub mod team;
 pub mod vecops;
 
 pub use anomaly::{Anomaly, AnomalyConfig, AnomalyDetector};
+pub use factor_cache::{CacheStats, KeyedCache};
 pub use gmres::{Gmres, GmresConfig, GmresExec, GmresOutcome, GmresResult};
 pub use op::{FdJacobian, LinearOperator, ShiftedOperator};
 pub use policy::{AutoPolicy, Decision, ExecMode, FluxScheme};

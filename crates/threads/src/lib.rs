@@ -9,6 +9,9 @@
 //! * a [`Team`] context ([`team`]) — barrier, per-thread scratch, and a
 //!   deterministic [`TreeReduce`] — so whole solver iterations run
 //!   inside one region separated by barrier phases,
+//! * a [`PoolSet`] checkout/checkin free-list ([`lease`]) handing those
+//!   persistent pools across concurrent jobs (one exclusive launcher at
+//!   a time, no pool churn) with a budget high-water mark,
 //! * static range chunking ([`chunk_range`]) for "basic partitioning",
 //! * a spinning sense-reversing [`SpinBarrier`] for level-scheduled sparse
 //!   recurrences (barrier after each level),
@@ -23,6 +26,7 @@
 
 pub mod atomicf64;
 pub mod barrier;
+pub mod lease;
 pub mod p2p;
 pub mod pool;
 pub mod probe;
@@ -31,6 +35,7 @@ pub mod team;
 
 pub use atomicf64::AtomicF64View;
 pub use barrier::SpinBarrier;
+pub use lease::{PoolLease, PoolSet};
 pub use p2p::DoneFlags;
 pub use pool::{adaptive_spin_default, Bell, JobPtr, ThreadPool};
 pub use probe::SyncCosts;

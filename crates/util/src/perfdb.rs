@@ -201,11 +201,22 @@ pub struct Verdict {
     pub improved: bool,
 }
 
-/// Metrics named `*speedup*` (ratios), `*gbps*` (effective bandwidth)
-/// or `*reuse*` (tile edges-per-slot) are bigger-is-better; every other
-/// metric is a cost where smaller is better.
+/// Metrics named `*speedup*` (ratios), `*gbps*` (effective bandwidth),
+/// `*reuse*` (tile edges-per-slot), `*rps*` (service throughput) or
+/// `*hit_rate*` (cache effectiveness) are bigger-is-better; every other
+/// metric is a cost where smaller is better. Latency quantiles
+/// (`*p50*`/`*p99*`/`*latency*`) are explicitly lower-is-better and
+/// take precedence, so a key like `warm.rps_p99_ms` judges as latency,
+/// not throughput.
 pub fn higher_is_better(metric: &str) -> bool {
-    metric.contains("speedup") || metric.contains("gbps") || metric.contains("reuse")
+    if metric.contains("p50") || metric.contains("p99") || metric.contains("latency") {
+        return false;
+    }
+    metric.contains("speedup")
+        || metric.contains("gbps")
+        || metric.contains("reuse")
+        || metric.contains("rps")
+        || metric.contains("hit_rate")
 }
 
 fn median_of(xs: &mut [f64]) -> f64 {

@@ -340,6 +340,49 @@ pub enum EventKind {
         /// wall-budget overrun).
         value: f64,
     },
+    /// The serve front-end admitted a request into a tenant queue.
+    ServeAdmit {
+        /// FNV-64 hash of the tenant name (the full name lives in the
+        /// request log; six u64 words can't carry a string).
+        tenant: u64,
+        /// Global queue depth *after* admission.
+        queue_depth: u64,
+    },
+    /// A serve job finished executing (emitted under the job's solve
+    /// tag, so the dump ties tenant → `SolveId` → solver events).
+    ServeJob {
+        /// FNV-64 hash of the tenant name.
+        tenant: u64,
+        /// Nanoseconds spent queued before a team picked the job up.
+        queue_ns: u64,
+        /// Artifact-cache hits while preparing this job.
+        cache_hits: u64,
+        /// Artifact-cache misses while preparing this job.
+        cache_misses: u64,
+    },
+    /// Admission control shed a request.
+    ServeReject {
+        /// FNV-64 hash of the tenant name.
+        tenant: u64,
+        /// Structured reason, decoded by [`reject_reason_slug`].
+        reason: u64,
+        /// Global queue depth at the time of rejection.
+        queue_depth: u64,
+    },
+}
+
+/// Human slug for a [`EventKind::ServeReject`] reason code. The codes
+/// are fixed here (not in `fun3d-serve`) so flight dumps decode without
+/// the serve crate: 1 = global queue full, 2 = tenant queue full,
+/// 3 = malformed request, 4 = service shutting down.
+pub fn reject_reason_slug(code: u64) -> &'static str {
+    match code {
+        1 => "queue_full",
+        2 => "tenant_queue_full",
+        3 => "bad_request",
+        4 => "shutdown",
+        _ => "other",
+    }
 }
 
 impl EventKind {
@@ -357,11 +400,14 @@ impl EventKind {
             EventKind::CommSend { .. } => "comm_send",
             EventKind::CommRecv { .. } => "comm_recv",
             EventKind::Anomaly { .. } => "anomaly",
+            EventKind::ServeAdmit { .. } => "serve_admit",
+            EventKind::ServeJob { .. } => "serve_job",
+            EventKind::ServeReject { .. } => "serve_reject",
         }
     }
 
     /// Every artifact kind name (dump validation).
-    pub const NAMES: [&'static str; 11] = [
+    pub const NAMES: [&'static str; 14] = [
         "solve_start",
         "solve_end",
         "ptc_step",
@@ -373,6 +419,9 @@ impl EventKind {
         "comm_send",
         "comm_recv",
         "anomaly",
+        "serve_admit",
+        "serve_job",
+        "serve_reject",
     ];
 
     fn encode(&self) -> (u64, [u64; PAYLOAD_WORDS]) {
@@ -425,6 +474,21 @@ impl EventKind {
                 step,
                 value,
             } => (11, [trigger.code(), step, f(value), 0, 0, 0]),
+            EventKind::ServeAdmit {
+                tenant,
+                queue_depth,
+            } => (12, [tenant, queue_depth, 0, 0, 0, 0]),
+            EventKind::ServeJob {
+                tenant,
+                queue_ns,
+                cache_hits,
+                cache_misses,
+            } => (13, [tenant, queue_ns, cache_hits, cache_misses, 0, 0]),
+            EventKind::ServeReject {
+                tenant,
+                reason,
+                queue_depth,
+            } => (14, [tenant, reason, queue_depth, 0, 0, 0]),
         }
     }
 
@@ -483,6 +547,21 @@ impl EventKind {
                 trigger: Trigger::from_code(p[0])?,
                 step: p[1],
                 value: f(p[2]),
+            },
+            12 => EventKind::ServeAdmit {
+                tenant: p[0],
+                queue_depth: p[1],
+            },
+            13 => EventKind::ServeJob {
+                tenant: p[0],
+                queue_ns: p[1],
+                cache_hits: p[2],
+                cache_misses: p[3],
+            },
+            14 => EventKind::ServeReject {
+                tenant: p[0],
+                reason: p[1],
+                queue_depth: p[2],
             },
             _ => return None,
         })
@@ -579,6 +658,35 @@ impl EventKind {
                 ("step", Json::num(step as f64)),
                 ("value", json_f64(value)),
             ],
+            // Tenant hashes are full u64s; JSON numbers are f64 and
+            // would round them, so they go on the wire as hex strings.
+            EventKind::ServeAdmit {
+                tenant,
+                queue_depth,
+            } => vec![
+                ("tenant", Json::str(format!("{tenant:016x}"))),
+                ("queue_depth", Json::num(queue_depth as f64)),
+            ],
+            EventKind::ServeJob {
+                tenant,
+                queue_ns,
+                cache_hits,
+                cache_misses,
+            } => vec![
+                ("tenant", Json::str(format!("{tenant:016x}"))),
+                ("queue_ns", Json::num(queue_ns as f64)),
+                ("cache_hits", Json::num(cache_hits as f64)),
+                ("cache_misses", Json::num(cache_misses as f64)),
+            ],
+            EventKind::ServeReject {
+                tenant,
+                reason,
+                queue_depth,
+            } => vec![
+                ("tenant", Json::str(format!("{tenant:016x}"))),
+                ("reason", Json::str(reject_reason_slug(reason))),
+                ("queue_depth", Json::num(queue_depth as f64)),
+            ],
         }
     }
 
@@ -650,6 +758,27 @@ impl EventKind {
                 step,
                 value,
             } => format!("{} at step {step} (value {value:.3e})", trigger.slug()),
+            EventKind::ServeAdmit {
+                tenant,
+                queue_depth,
+            } => format!("tenant={tenant:016x} depth={queue_depth}"),
+            EventKind::ServeJob {
+                tenant,
+                queue_ns,
+                cache_hits,
+                cache_misses,
+            } => format!(
+                "tenant={tenant:016x} queued={:.2}ms cache={cache_hits}h/{cache_misses}m",
+                queue_ns as f64 / 1e6
+            ),
+            EventKind::ServeReject {
+                tenant,
+                reason,
+                queue_depth,
+            } => format!(
+                "tenant={tenant:016x} reason={} depth={queue_depth}",
+                reject_reason_slug(reason)
+            ),
         }
     }
 }
@@ -842,6 +971,16 @@ pub fn end_solve(id: SolveId, converged: bool, steps: u64, linear_iters: u64, re
         res,
     });
     SOLVE.with(|s| s.set(0));
+}
+
+/// Records one event tagged with an explicit solve id instead of the
+/// thread's current tag — for emitters that speak *about* a solve after
+/// it finished (the serve dispatcher stamping `ServeJob` with the
+/// completed job's [`SolveId`]). Restores the thread's previous tag.
+pub fn emit_tagged(solve: u64, kind: EventKind) {
+    let prev = SOLVE.with(|s| s.replace(solve));
+    emit(kind);
+    SOLVE.with(|s| s.set(prev));
 }
 
 /// Records one event on the current thread's ring, tagged with the
@@ -1219,6 +1358,21 @@ mod tests {
                 trigger: Trigger::Divergence,
                 step: 9,
                 value: f64::NAN,
+            },
+            EventKind::ServeAdmit {
+                tenant: 0xdead_beef_cafe_f00d,
+                queue_depth: 7,
+            },
+            EventKind::ServeJob {
+                tenant: 0xdead_beef_cafe_f00d,
+                queue_ns: 1_500_000,
+                cache_hits: 3,
+                cache_misses: 1,
+            },
+            EventKind::ServeReject {
+                tenant: u64::MAX,
+                reason: 1,
+                queue_depth: 64,
             },
         ]
     }

@@ -74,6 +74,22 @@ cargo run --release --offline -q -p fun3d-bench --bin perf_regress -- \
     --append "$TILED_ARTIFACT" --history BENCH_history.jsonl \
     --commit "$COMMIT" --date "$DATE" \
     --config "meshes=$MESHES" --config "threads=$THREADS"
+# Serving tier rides the snapshot too: the load benchmark's cache
+# ablation (warm vs cache-off throughput), open-loop latency phases,
+# and reject probe. --check enforces the 2x cache floor and the forced
+# admission reject before anything is appended.
+cargo run --release --offline -q -p fun3d-bench --bin load_gen -- \
+    --requests 16 --rates 4,8 --repeats 4
+SERVE_ARTIFACT=target/experiments/load_gen.json
+if [ ! -f "$SERVE_ARTIFACT" ]; then
+    echo "FAIL: $SERVE_ARTIFACT not produced" >&2
+    exit 1
+fi
+cargo run --release --offline -q -p fun3d-bench --bin load_gen -- --check "$SERVE_ARTIFACT"
+cargo run --release --offline -q -p fun3d-bench --bin perf_regress -- \
+    --append "$SERVE_ARTIFACT" --history BENCH_history.jsonl \
+    --commit "$COMMIT" --date "$DATE" --config "rates=4,8"
+
 cargo run --release --offline -q -p fun3d-bench --bin perf_regress -- \
     --history BENCH_history.jsonl
 

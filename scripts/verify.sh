@@ -187,4 +187,50 @@ if [ -f BENCH_history.jsonl ]; then
 fi
 echo "ok: perf history gate wired"
 
+echo "== serve tier (fun3d-serve + load_gen) =="
+# Service smoke over the NDJSON stdin transport: two good requests (the
+# second must be an artifact-cache hit) and one malformed request that
+# must come back as a structured bad_request rejection, not a crash.
+SERVE_OUT=$(printf '%s\n' \
+    '{"tenant":"verify","mesh":"tiny","max_steps":2,"rtol":1e-2}' \
+    '{"tenant":"verify","mesh":"tiny","max_steps":2,"rtol":1e-2}' \
+    '{"tenant":"verify","mesh":"not-a-mesh"}' \
+    | cargo run --release --offline -q -p fun3d-serve --bin serve -- --teams 1 --team-threads 1 2>/dev/null)
+for needle in '"ok":true' '"cache":"app+factor"' '"reason":"bad_request"'; do
+    if ! grep -qF "$needle" <<<"$SERVE_OUT"; then
+        echo "FAIL: serve stdin smoke missing $needle"
+        echo "$SERVE_OUT"
+        exit 1
+    fi
+done
+echo "ok: serve NDJSON transport answers, caches repeats, rejects bad requests"
+
+# Load benchmark smoke: open-loop phases must all succeed at the lowest
+# rate, the reject probe must observe at least one forced admission
+# reject, and the artifact's cache ablation must clear the 2x floor —
+# all enforced by the strict --check validator.
+cargo run --release --offline -q -p fun3d-bench --bin load_gen -- \
+    --requests 12 --rates 4,8 --repeats 4
+if [ ! -f target/experiments/load_gen.json ]; then
+    echo "FAIL: missing load_gen artifact"
+    exit 1
+fi
+cargo run --release --offline -q -p fun3d-bench --bin load_gen -- --check target/experiments/load_gen.json
+# Negative canary for the validator: a load_gen artifact whose cache
+# speedup is below the floor must FAIL the check.
+sed 's/"speedup": *[0-9.]*/"speedup": 1.1/' target/experiments/load_gen.json \
+    > target/experiments/load_gen_bad.json
+if cargo run --release --offline -q -p fun3d-bench --bin load_gen -- \
+    --check target/experiments/load_gen_bad.json >/dev/null 2>&1; then
+    echo "FAIL: load_gen --check accepted a sub-2x cache speedup"
+    exit 1
+fi
+rm -f target/experiments/load_gen_bad.json
+# The serving metrics ride the throwaway history under the hard gate:
+# rps / p50 / p99 / hit-rate keys must append and judge cleanly.
+FUN3D_PERF_GATE=hard cargo run --release --offline -q -p fun3d-bench --bin perf_regress -- \
+    --append target/experiments/load_gen.json --history "$PERF_HIST" \
+    --commit "verify-serve" --date "verify" >/dev/null
+echo "ok: serve load benchmark gated (2x cache floor, forced reject, history append)"
+
 echo "verify: OK"
