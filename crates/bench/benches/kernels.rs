@@ -345,6 +345,48 @@ fn bench_flight_overhead(c: &mut Bench) {
     g.finish();
 }
 
+/// Metrics-plane overhead: the always-on claim for the histogram
+/// record path. The same flux call recording one histogram sample per
+/// invocation (a far higher record rate than the real per-request /
+/// per-step sources) with metrics enabled (the default) versus
+/// disabled, plus the raw cost of one shard `record` and of one full
+/// registry snapshot (the collector side a `{"cmd":"stats"}` reply
+/// pays). The on/off pair must stay within measurement noise — the
+/// acceptance criterion `crates/util/tests/metrics_overhead.rs` gates.
+fn bench_metrics_overhead(c: &mut Bench) {
+    use fun3d_util::telemetry::metrics;
+    let (geom, node, _) = fixture();
+    let n4 = node.n * 4;
+    let h = metrics::histogram("bench.flux_ns");
+    let mut g = c.group("metrics");
+    g.sample_size(20);
+    metrics::set_enabled(false);
+    g.bench_function("flux_metrics_off", |b| {
+        b.iter_batched_ref(
+            || vec![0.0; n4],
+            |res| {
+                h.record(1_234);
+                flux::serial_aos(&geom, &node, 1.0, res)
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    metrics::set_enabled(true);
+    g.bench_function("flux_metrics_on", |b| {
+        b.iter_batched_ref(
+            || vec![0.0; n4],
+            |res| {
+                h.record(1_234);
+                flux::serial_aos(&geom, &node, 1.0, res)
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    g.bench_function("record", |b| b.iter(|| h.record(std::hint::black_box(1_234))));
+    g.bench_function("snapshot", |b| b.iter(metrics::snapshot));
+    g.finish();
+}
+
 fn bench_sampler_overhead(c: &mut Bench) {
     // The claim behind always-on profiling: the slot publication a span
     // performs (seqlock push/pop) costs a few uncontended atomic stores,
@@ -410,6 +452,7 @@ fn main() {
     bench_vecops(&mut c);
     bench_telemetry_overhead(&mut c);
     bench_flight_overhead(&mut c);
+    bench_metrics_overhead(&mut c);
     bench_sampler_overhead(&mut c);
     bench_partitioner(&mut c);
     c.finish();

@@ -30,7 +30,9 @@ use fun3d_mesh::generator::MeshPreset;
 use fun3d_serve::wire::SolveRequest;
 use fun3d_serve::{ServeConfig, Service};
 use fun3d_util::report::{experiments_dir, write_json, Table};
+use fun3d_util::telemetry::flight::json_f64;
 use fun3d_util::telemetry::json::Json;
+use fun3d_util::telemetry::metrics;
 use std::time::{Duration, Instant};
 
 struct Args {
@@ -136,12 +138,6 @@ fn job_mix(tenant_of: impl Fn(usize) -> String, n: usize) -> Vec<SolveRequest> {
         .collect()
 }
 
-fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
-    assert!(!sorted_ms.is_empty());
-    let idx = ((sorted_ms.len() as f64 - 1.0) * p).round() as usize;
-    sorted_ms[idx]
-}
-
 struct PassResult {
     wall_s: f64,
     rps: f64,
@@ -215,12 +211,19 @@ struct Phase {
     p99_ms: f64,
     mean_ms: f64,
     hit_rate: f64,
+    /// The service's own view of this phase: the `serve.total_ns`
+    /// live-histogram delta (admit→reply), cross-checked against the
+    /// client-side sorted-vec percentiles above.
+    live_count: u64,
+    live_p50_ms: f64,
+    live_p99_ms: f64,
 }
 
 /// Open-loop arrival at `rate_hz` against a shared warm service.
 /// Latencies are measured from each request's *scheduled* arrival time.
 fn run_phase(svc: &Service, args: &Args, rate_hz: f64) -> Phase {
     let before = svc.stats().cache;
+    let live_before = metrics::snapshot();
     let jobs = job_mix(|i| format!("t{}", i % 3), args.requests);
     let offered = jobs.len();
     let epoch = Instant::now();
@@ -250,16 +253,58 @@ fn run_phase(svc: &Service, args: &Args, rate_hz: f64) -> Phase {
     let hits = (after.app.hits - before.app.hits) + (after.factor.hits - before.factor.hits);
     let lookups = hits + (after.app.misses - before.app.misses)
         + (after.factor.misses - before.factor.misses);
+
+    // The service's own admit→reply histogram over exactly this phase
+    // (the delta discards the priming pass and earlier phases). Every
+    // admitted request lands in it once, so the counts must agree,
+    // and the service-side window is contained in the client-side one
+    // (scheduled arrival ≤ admit, reply ≤ wait() return) — so the
+    // live percentiles can only sit below the client's, up to the
+    // histogram's one-log-bucket resolution (1/64 relative).
+    let live = {
+        let now = metrics::snapshot();
+        let empty = metrics::HistSnapshot::empty("serve.total_ns");
+        let cur = now.hist("serve.total_ns").unwrap_or(&empty).clone();
+        match live_before.hist("serve.total_ns") {
+            Some(b) => cur.delta_from(b),
+            None => cur,
+        }
+    };
+    let live_p50_ms = live.quantile(0.50) * 1e-6;
+    let live_p99_ms = live.quantile(0.99) * 1e-6;
+    let p50_ms = metrics::quantile_sorted(&latencies_ms, 0.50);
+    let p99_ms = metrics::quantile_sorted(&latencies_ms, 0.99);
+    if completed > 0 && metrics::enabled() {
+        assert_eq!(
+            live.count, completed as u64,
+            "live serve.total_ns delta disagrees with completed count"
+        );
+        for (client, service, which) in
+            [(p50_ms, live_p50_ms, "p50"), (p99_ms, live_p99_ms, "p99")]
+        {
+            // One bucket of relative slack plus a small absolute floor
+            // for sub-bucket jitter.
+            assert!(
+                service <= client * (1.0 + 1.0 / 64.0) + 0.5,
+                "service-side {which} {service:.3} ms exceeds client-side \
+                 {client:.3} ms beyond bucket error"
+            );
+        }
+    }
+
     Phase {
         rate_hz,
         offered,
         completed,
         rejected,
         rps: completed as f64 / span_s,
-        p50_ms: percentile(&latencies_ms, 0.50),
-        p99_ms: percentile(&latencies_ms, 0.99),
+        p50_ms,
+        p99_ms,
         mean_ms: latencies_ms.iter().sum::<f64>() / completed.max(1) as f64,
         hit_rate: if lookups == 0 { 0.0 } else { hits as f64 / lookups as f64 },
+        live_count: live.count,
+        live_p50_ms,
+        live_p99_ms,
     }
 }
 
@@ -386,6 +431,43 @@ fn check_artifact(path: &str) -> ! {
                             problems
                                 .push(format!("phase 0 shed {rej} requests at the lowest rate"));
                         }
+                        // The live cross-check: the service's own
+                        // histogram saw every completed request, and
+                        // its percentiles sit at or below the
+                        // client-side ones within one log bucket
+                        // (1/64 relative, 0.5 ms absolute slack).
+                        let live = p.get("live");
+                        let lcount =
+                            live.and_then(|l| l.get("count")).and_then(Json::as_f64);
+                        let lp50 =
+                            live.and_then(|l| l.get("p50_ms")).and_then(Json::as_f64);
+                        let lp99 =
+                            live.and_then(|l| l.get("p99_ms")).and_then(Json::as_f64);
+                        match (lcount, lp50, lp99) {
+                            (Some(lc), Some(lp50), Some(lp99)) => {
+                                if lc != c {
+                                    problems.push(format!(
+                                        "phase {i}: live count {lc} != completed {c}"
+                                    ));
+                                }
+                                let tol = 1.0 + 1.0 / 64.0;
+                                if !(lp50 > 0.0 && lp50 <= p50 * tol + 0.5) {
+                                    problems.push(format!(
+                                        "phase {i}: live p50 {lp50:.3} vs client {p50:.3} \
+                                         outside bucket error"
+                                    ));
+                                }
+                                if !(lp99 > 0.0 && lp99 <= p99 * tol + 0.5) {
+                                    problems.push(format!(
+                                        "phase {i}: live p99 {lp99:.3} vs client {p99:.3} \
+                                         outside bucket error"
+                                    ));
+                                }
+                            }
+                            _ => problems.push(format!(
+                                "phase {i}: missing live service-side section"
+                            )),
+                        }
                     }
                     _ => problems.push(format!("phase {i}: malformed entry")),
                 }
@@ -460,7 +542,17 @@ fn main() {
     );
     let mut table = Table::new(
         &format!("load_gen: open-loop phases ({} requests each)", args.requests),
-        &["rate req/s", "rps", "p50 ms", "p99 ms", "mean ms", "rejected", "hit rate"],
+        &[
+            "rate req/s",
+            "rps",
+            "p50 ms",
+            "p99 ms",
+            "live p50",
+            "live p99",
+            "mean ms",
+            "rejected",
+            "hit rate",
+        ],
     );
     for p in &phases {
         table.row(&[
@@ -468,6 +560,8 @@ fn main() {
             format!("{:.2}", p.rps),
             format!("{:.2}", p.p50_ms),
             format!("{:.2}", p.p99_ms),
+            format!("{:.2}", p.live_p50_ms),
+            format!("{:.2}", p.live_p99_ms),
             format!("{:.2}", p.mean_ms),
             p.rejected.to_string(),
             format!("{:.3}", p.hit_rate),
@@ -534,10 +628,18 @@ fn main() {
                             ("completed", Json::num(p.completed as f64)),
                             ("rejected", Json::num(p.rejected as f64)),
                             ("rps", Json::num(p.rps)),
-                            ("p50_ms", Json::num(p.p50_ms)),
-                            ("p99_ms", Json::num(p.p99_ms)),
+                            ("p50_ms", json_f64(p.p50_ms)),
+                            ("p99_ms", json_f64(p.p99_ms)),
                             ("mean_ms", Json::num(p.mean_ms)),
                             ("hit_rate", Json::num(p.hit_rate)),
+                            (
+                                "live",
+                                Json::obj(vec![
+                                    ("count", Json::num(p.live_count as f64)),
+                                    ("p50_ms", json_f64(p.live_p50_ms)),
+                                    ("p99_ms", json_f64(p.live_p99_ms)),
+                                ]),
+                            ),
                         ])
                     })
                     .collect(),

@@ -1,0 +1,326 @@
+//! **metrics_view** — renders a live-metrics snapshot as tables, and
+//! can watch a running service.
+//!
+//! The source is either a file holding the strict-JSON snapshot
+//! (`fun3d.metrics.v1`, as written by `{"cmd":"stats"}`'s `metrics`
+//! field or the `--metrics-socket` `json` reply) or the metrics socket
+//! itself (`--socket PATH`): connect, send one line (`json` or, with
+//! `--prom`, `prom`), read the payload to EOF.
+//!
+//! * default: header plus counter/gauge and histogram tables (count,
+//!   p50/p90/p99/max/mean in ms);
+//! * `--check`: strictly validate — [`metrics::check_snapshot`] for
+//!   JSON, [`metrics::check_prometheus`] for `--prom` — and exit 0/1;
+//!   the rot guard `scripts/verify.sh` runs against the live endpoint;
+//! * `--follow`: re-fetch every `--poll-ms` (default 500) and print
+//!   what moved since the previous poll — counter increments and
+//!   per-histogram delta count with the delta window's own p50/p99
+//!   (via [`HistSnapshot::delta_from`]); `--max-polls` bounds the
+//!   watch for scripted use (0 = forever).
+//!
+//! Usage: `metrics_view <snapshot.json | --socket PATH> [--prom]
+//! [--check] [--follow] [--poll-ms <n>] [--max-polls <n>]`
+
+use fun3d_util::report::Table;
+use fun3d_util::telemetry::json::Json;
+use fun3d_util::telemetry::metrics::{self, HistSnapshot, MetricsSnapshot};
+use std::io::{Read, Write};
+use std::os::unix::net::UnixStream;
+
+struct Args {
+    path: String,
+    socket: Option<String>,
+    prom: bool,
+    check: bool,
+    follow: bool,
+    poll_ms: u64,
+    max_polls: u64,
+}
+
+fn parse_args() -> Args {
+    let mut out = Args {
+        path: String::new(),
+        socket: None,
+        prom: false,
+        check: false,
+        follow: false,
+        poll_ms: 500,
+        max_polls: 0,
+    };
+    let args: Vec<String> = std::env::args().collect();
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--socket" => {
+                i += 1;
+                out.socket = Some(args[i].clone());
+            }
+            "--prom" => out.prom = true,
+            "--check" => out.check = true,
+            "--follow" => out.follow = true,
+            "--poll-ms" => {
+                i += 1;
+                out.poll_ms = args[i].parse().expect("--poll-ms takes an integer");
+            }
+            "--max-polls" => {
+                i += 1;
+                out.max_polls = args[i].parse().expect("--max-polls takes an integer");
+            }
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: metrics_view <snapshot.json | --socket PATH> [--prom] \
+                     [--check] [--follow] [--poll-ms <n>] [--max-polls <n>]"
+                );
+                std::process::exit(0);
+            }
+            other if out.path.is_empty() && !other.starts_with("--") => {
+                out.path = other.to_string();
+            }
+            other => {
+                eprintln!("unknown argument '{other}'");
+                std::process::exit(1);
+            }
+        }
+        i += 1;
+    }
+    if out.path.is_empty() && out.socket.is_none() {
+        eprintln!("usage: metrics_view <snapshot.json | --socket PATH> [--check] [--follow]");
+        std::process::exit(1);
+    }
+    out
+}
+
+/// Fetches the raw payload: file read, or one request/response round
+/// trip on the metrics socket.
+fn fetch(args: &Args) -> Result<String, String> {
+    match &args.socket {
+        Some(path) => {
+            let mut stream = UnixStream::connect(path)
+                .map_err(|e| format!("cannot connect to {path}: {e}"))?;
+            let line = if args.prom { "prom\n" } else { "json\n" };
+            stream
+                .write_all(line.as_bytes())
+                .map_err(|e| format!("write to {path} failed: {e}"))?;
+            let mut out = String::new();
+            stream
+                .read_to_string(&mut out)
+                .map_err(|e| format!("read from {path} failed: {e}"))?;
+            Ok(out)
+        }
+        None => std::fs::read_to_string(&args.path)
+            .map_err(|e| format!("cannot read {}: {e}", args.path)),
+    }
+}
+
+/// Reconstructs a [`MetricsSnapshot`] from the strict-JSON artifact so
+/// the delta/quantile logic is the library's, not a reimplementation.
+/// Bucket indices come back via [`metrics::bucket_of`] on each emitted
+/// lower bound (a bucket's `lo` maps to itself by construction).
+fn from_json(doc: &Json) -> Result<MetricsSnapshot, String> {
+    metrics::check_snapshot(doc)?;
+    let pairs = |section: &str| -> Vec<(String, u64)> {
+        match doc.get(section) {
+            Some(Json::Obj(entries)) => entries
+                .iter()
+                .filter_map(|(n, v)| v.as_f64().map(|x| (n.clone(), x as u64)))
+                .collect(),
+            _ => Vec::new(),
+        }
+    };
+    let mut hists = Vec::new();
+    if let Some(Json::Obj(entries)) = doc.get("histograms") {
+        for (name, h) in entries {
+            let num = |k: &str| h.get(k).and_then(Json::as_f64).unwrap_or(0.0) as u64;
+            let mut buckets = Vec::new();
+            if let Some(arr) = h.get("buckets").and_then(Json::as_arr) {
+                for b in arr {
+                    let b = b.as_arr().ok_or("bucket is not an array")?;
+                    let lo = b[0].as_f64().ok_or("bucket lo not a number")? as u64;
+                    let c = b[2].as_f64().ok_or("bucket count not a number")? as u64;
+                    let idx = metrics::bucket_of(lo)
+                        .ok_or_else(|| format!("bucket lo {lo} out of range"))?;
+                    buckets.push((idx, c));
+                }
+            }
+            hists.push(HistSnapshot {
+                name: name.clone(),
+                count: num("count"),
+                sum_ns: num("sum_ns"),
+                max_ns: num("max_ns"),
+                overflow: num("overflow"),
+                buckets,
+            });
+        }
+    }
+    Ok(MetricsSnapshot {
+        t_ns: doc.get("t_ns").and_then(Json::as_f64).unwrap_or(0.0) as u64,
+        counters: pairs("counters"),
+        gauges: pairs("gauges"),
+        hists,
+    })
+}
+
+fn load_snapshot(args: &Args) -> Result<MetricsSnapshot, String> {
+    let text = fetch(args)?;
+    let doc = Json::parse(&text).map_err(|e| format!("payload is not valid JSON: {e}"))?;
+    from_json(&doc)
+}
+
+fn source_name(args: &Args) -> String {
+    args.socket.clone().unwrap_or_else(|| args.path.clone())
+}
+
+const MS: f64 = 1e-6;
+
+fn fmt_ms(ns: f64) -> String {
+    if ns.is_nan() {
+        "-".to_string()
+    } else {
+        format!("{:.3}", ns * MS)
+    }
+}
+
+/// Full render: scalar table then histogram table.
+fn render(snap: &MetricsSnapshot, source: &str) {
+    println!(
+        "{source}: t={:.3} ms, {} counters, {} gauges, {} histograms\n",
+        snap.t_ns as f64 * MS,
+        snap.counters.len(),
+        snap.gauges.len(),
+        snap.hists.len()
+    );
+    if !snap.counters.is_empty() || !snap.gauges.is_empty() {
+        let mut table = Table::new("metrics_view: counters and gauges", &["name", "kind", "value"]);
+        for (n, v) in &snap.counters {
+            table.row(&[n.clone(), "counter".to_string(), v.to_string()]);
+        }
+        for (n, v) in &snap.gauges {
+            table.row(&[n.clone(), "gauge".to_string(), v.to_string()]);
+        }
+        print!("{}", table.render());
+        println!();
+    }
+    if !snap.hists.is_empty() {
+        let mut table = Table::new(
+            "metrics_view: histograms (ms)",
+            &["name", "count", "p50", "p90", "p99", "max", "mean", "overflow"],
+        );
+        for h in &snap.hists {
+            table.row(&[
+                h.name.clone(),
+                h.count.to_string(),
+                fmt_ms(h.quantile(0.50)),
+                fmt_ms(h.quantile(0.90)),
+                fmt_ms(h.quantile(0.99)),
+                fmt_ms(h.max_ns as f64),
+                fmt_ms(h.mean()),
+                h.overflow.to_string(),
+            ]);
+        }
+        print!("{}", table.render());
+        println!();
+    }
+}
+
+/// One `--follow` frame: everything that moved since `prev`.
+fn render_delta(snap: &MetricsSnapshot, prev: &MetricsSnapshot, source: &str) {
+    let mut lines = Vec::new();
+    for (n, v) in &snap.counters {
+        let d = v.saturating_sub(prev.counter(n));
+        if d > 0 {
+            lines.push(format!("  {n:<40} +{d}"));
+        }
+    }
+    for (n, v) in &snap.gauges {
+        if prev.gauge(n) != *v {
+            lines.push(format!("  {n:<40} ={v} (was {})", prev.gauge(n)));
+        }
+    }
+    for h in &snap.hists {
+        let d = match prev.hist(&h.name) {
+            Some(p) => h.delta_from(p),
+            None => h.clone(),
+        };
+        if d.count > 0 {
+            lines.push(format!(
+                "  {:<40} +{}  p50 {} ms  p99 {} ms  max {} ms",
+                h.name,
+                d.count,
+                fmt_ms(d.quantile(0.50)),
+                fmt_ms(d.quantile(0.99)),
+                fmt_ms(d.max_ns as f64),
+            ));
+        }
+    }
+    if lines.is_empty() {
+        return;
+    }
+    println!("{source}: t={:.3} ms, {} changed", snap.t_ns as f64 * MS, lines.len());
+    for l in lines {
+        println!("{l}");
+    }
+}
+
+fn follow(args: &Args) {
+    let mut prev: Option<MetricsSnapshot> = None;
+    let mut polls = 0u64;
+    loop {
+        match load_snapshot(args) {
+            Ok(snap) => {
+                match &prev {
+                    // A writer may be mid-snapshot or the service not yet
+                    // up; retry on the next poll either way.
+                    None => render(&snap, &source_name(args)),
+                    Some(p) => render_delta(&snap, p, &source_name(args)),
+                }
+                prev = Some(snap);
+            }
+            Err(e) => println!("metrics_view: {e} (retrying)"),
+        }
+        polls += 1;
+        if args.max_polls > 0 && polls >= args.max_polls {
+            return;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(args.poll_ms));
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    if args.check {
+        let verdict = fetch(&args).and_then(|text| {
+            if args.prom {
+                metrics::check_prometheus(&text)
+            } else {
+                let doc = Json::parse(&text)
+                    .map_err(|e| format!("payload is not valid JSON: {e}"))?;
+                metrics::check_snapshot(&doc)
+            }
+        });
+        match verdict {
+            Ok(n) => {
+                println!(
+                    "{}: OK ({n} {})",
+                    source_name(&args),
+                    if args.prom { "exposition series" } else { "metrics" }
+                );
+                std::process::exit(0);
+            }
+            Err(e) => {
+                eprintln!("check failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    if args.follow {
+        follow(&args);
+        return;
+    }
+    match load_snapshot(&args) {
+        Ok(snap) => render(&snap, &source_name(&args)),
+        Err(e) => {
+            eprintln!("metrics_view: {e}");
+            std::process::exit(1);
+        }
+    }
+}

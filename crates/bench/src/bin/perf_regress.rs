@@ -211,6 +211,15 @@ fn distill(doc: &Json) -> Result<(Vec<(String, String)>, Vec<(String, f64)>), St
                     .ok_or_else(|| format!("phase without '{key}'"))?;
                 metrics.push((format!("serve.{tag}.{suffix}"), v));
             }
+            // Service-side percentiles from the live metrics plane
+            // (absent in pre-metrics artifacts, so optional).
+            if let Some(live) = p.get("live") {
+                for key in ["p50_ms", "p99_ms"] {
+                    if let Some(v) = live.get(key).and_then(Json::as_f64) {
+                        metrics.push((format!("serve.live.{tag}.{key}"), v));
+                    }
+                }
+            }
         }
         if metrics.is_empty() {
             return Err("artifact distilled to zero metrics".to_string());
@@ -772,12 +781,26 @@ fn do_self_test() -> i32 {
                 ("p50_ms", Json::num(70.0)),
                 ("p99_ms", Json::num(120.0)),
                 ("hit_rate", Json::num(1.0)),
+                (
+                    "live",
+                    Json::obj(vec![
+                        ("count", Json::num(24.0)),
+                        ("p50_ms", Json::num(68.0)),
+                        ("p99_ms", Json::num(118.0)),
+                    ]),
+                ),
             ])]),
         ),
     ]);
     match distill(&load) {
         Ok((_, m)) => {
-            for key in ["serve.cache_speedup", "serve.rate4.rps", "serve.rate4.p99_ms"] {
+            for key in [
+                "serve.cache_speedup",
+                "serve.rate4.rps",
+                "serve.rate4.p99_ms",
+                "serve.live.rate4.p50_ms",
+                "serve.live.rate4.p99_ms",
+            ] {
                 if !m.iter().any(|(k, _)| k == key) {
                     eprintln!("perf_regress: SELF-TEST FAILED — load_gen distill missing {key}");
                     return 2;

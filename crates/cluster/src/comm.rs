@@ -74,7 +74,7 @@ impl Universe {
                     // dump merges all ranks into one causally-ordered
                     // record (ranks share the process telemetry epoch).
                     telemetry::flight::set_rank(rank as u64);
-                    f(Comm { rank, shared })
+                    f(Comm::new(rank, shared))
                 }));
             }
             handles
@@ -89,9 +89,30 @@ impl Universe {
 pub struct Comm {
     rank: usize,
     shared: Arc<Shared>,
+    // Per-rank live histograms (size + latency per direction), handles
+    // resolved once at rank startup so the record path never takes the
+    // registry lock.
+    send_bytes: Arc<telemetry::metrics::Histogram>,
+    send_ns: Arc<telemetry::metrics::Histogram>,
+    recv_bytes: Arc<telemetry::metrics::Histogram>,
+    recv_ns: Arc<telemetry::metrics::Histogram>,
 }
 
 impl Comm {
+    fn new(rank: usize, shared: Arc<Shared>) -> Comm {
+        let hist = |dir: &str, what: &str| {
+            telemetry::metrics::histogram(&format!("cluster.rank{rank}.{dir}_{what}"))
+        };
+        Comm {
+            rank,
+            shared,
+            send_bytes: hist("send", "bytes"),
+            send_ns: hist("send", "ns"),
+            recv_bytes: hist("recv", "bytes"),
+            recv_ns: hist("recv", "ns"),
+        }
+    }
+
     /// This rank's id.
     pub fn rank(&self) -> usize {
         self.rank
@@ -114,9 +135,13 @@ impl Comm {
             peer: dst as u64,
             bytes,
         });
+        let t0 = std::time::Instant::now();
         self.shared.senders[self.rank * self.shared.size + dst]
             .send(Msg { tag, data })
             .expect("receiver alive");
+        self.send_bytes.record(bytes);
+        self.send_ns
+            .record(t0.elapsed().as_nanos().min(u64::MAX as u128) as u64);
     }
 
     /// Receives the next message from `src`; its tag must match
@@ -128,10 +153,14 @@ impl Comm {
         // guard instead of cascading the poison into a deadlocked
         // collective — the paired `recv` on the mpsc channel fails cleanly
         // once the panicked rank's senders drop.
+        let t0 = std::time::Instant::now();
         let rx = self.shared.receivers[src * self.shared.size + self.rank]
             .lock()
             .unwrap_or_else(PoisonError::into_inner);
         let msg = rx.recv().expect("sender alive");
+        self.recv_bytes.record((msg.data.len() * 8) as u64);
+        self.recv_ns
+            .record(t0.elapsed().as_nanos().min(u64::MAX as u128) as u64);
         assert_eq!(
             msg.tag, tag,
             "out-of-order tag between ranks {src}->{}",

@@ -10,17 +10,30 @@
 //!   connection.
 //!
 //! ```text
-//! usage: fun3d-serve [--socket PATH] [--teams N] [--team-threads N]
-//!                    [--queue-cap N] [--tenant-cap N] [--stats]
+//! usage: fun3d-serve [--socket PATH] [--metrics-socket PATH] [--teams N]
+//!                    [--team-threads N] [--queue-cap N] [--tenant-cap N]
+//!                    [--stats]
 //! ```
 //!
 //! Replies are [`fun3d_serve::wire::render_reply`] lines (`"ok":true`)
 //! or [`fun3d_serve::wire::render_reject`] lines (`"ok":false` with a
 //! structured reason) — admission rejects answer on the wire instead of
 //! closing the connection, so load generators can count shed requests.
+//!
+//! Live observability (either transport):
+//!
+//! * the in-band request `{"cmd":"stats"}` answers one JSON line with
+//!   live per-tenant latency percentiles, queue/inflight gauges, cache
+//!   hit rate, and the full metrics snapshot;
+//! * `--metrics-socket PATH` serves the metrics plane out-of-band: a
+//!   client connects, sends one line (`prom` for Prometheus text
+//!   exposition, anything else for the JSON snapshot), and reads the
+//!   payload until EOF. `metrics_view --socket PATH` renders it.
 
 use fun3d_serve::wire::{self, SolveRequest};
 use fun3d_serve::{ServeConfig, Service};
+use fun3d_util::telemetry::json::Json;
+use fun3d_util::telemetry::metrics;
 use std::io::{BufRead, BufReader, Write};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -30,6 +43,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut cfg = ServeConfig::host_default();
     let mut socket: Option<String> = None;
+    let mut metrics_socket: Option<String> = None;
     let mut stats = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -46,6 +60,13 @@ fn main() {
                         .clone(),
                 )
             }
+            "--metrics-socket" => {
+                metrics_socket = Some(
+                    it.next()
+                        .unwrap_or_else(|| fail("--metrics-socket needs a path"))
+                        .clone(),
+                )
+            }
             "--teams" => cfg.teams = num("--teams").max(1),
             "--team-threads" => cfg.team_threads = num("--team-threads").max(1),
             "--queue-cap" => cfg.queue_cap = num("--queue-cap").max(1),
@@ -53,8 +74,8 @@ fn main() {
             "--stats" => stats = true,
             "--help" | "-h" => {
                 println!(
-                    "usage: fun3d-serve [--socket PATH] [--teams N] [--team-threads N] \
-                     [--queue-cap N] [--tenant-cap N] [--stats]"
+                    "usage: fun3d-serve [--socket PATH] [--metrics-socket PATH] [--teams N] \
+                     [--team-threads N] [--queue-cap N] [--tenant-cap N] [--stats]"
                 );
                 return;
             }
@@ -71,10 +92,49 @@ fn main() {
         if cfg.cache { "on" } else { "off" }
     );
     let svc = Service::start(cfg);
+    if let Some(path) = metrics_socket {
+        serve_metrics_socket(path);
+    }
     match socket {
         Some(path) => serve_socket(svc, &path, stats),
         None => serve_stdio(svc, stats),
     }
+}
+
+/// Out-of-band metrics plane: a daemon listener that answers each
+/// connection with one snapshot and closes. The client speaks first —
+/// one line, `prom` for Prometheus text exposition, anything else
+/// (conventionally `json`) for the strict-JSON snapshot.
+fn serve_metrics_socket(path: String) {
+    let _ = std::fs::remove_file(&path);
+    let listener = UnixListener::bind(&path)
+        .unwrap_or_else(|e| fail(&format!("cannot bind metrics socket {path}: {e}")));
+    eprintln!("fun3d-serve: metrics on {path}");
+    std::thread::spawn(move || {
+        for stream in listener.incoming() {
+            let mut stream = match stream {
+                Ok(s) => s,
+                Err(_) => break,
+            };
+            let mut first = String::new();
+            let mut reader = BufReader::new(match stream.try_clone() {
+                Ok(s) => s,
+                Err(_) => continue,
+            });
+            if reader.read_line(&mut first).is_err() {
+                continue;
+            }
+            let snap = metrics::snapshot();
+            let payload = if first.trim() == "prom" {
+                metrics::render_prometheus(&snap)
+            } else {
+                let mut s = metrics::snapshot_json(&snap).render();
+                s.push('\n');
+                s
+            };
+            let _ = stream.write_all(payload.as_bytes());
+        }
+    });
 }
 
 fn fail(msg: &str) -> ! {
@@ -189,14 +249,29 @@ fn serve_conn(svc: &Service, stream: UnixStream, stop: &AtomicBool) {
     let _ = writer.join();
 }
 
-/// Parses one request line and routes the outcome to `tx`: parse
-/// errors and admission rejects answer immediately; admitted jobs get
-/// a waiter thread that forwards the reply when the solve lands.
+/// Parses one request line and routes the outcome to `tx`: control
+/// commands (`{"cmd":"stats"}`) answer synchronously from live
+/// metrics; parse errors and admission rejects answer immediately;
+/// admitted jobs get a waiter thread that forwards the reply when the
+/// solve lands.
 fn dispatch_line(
     svc: &Service,
     line: &str,
     tx: std::sync::mpsc::Sender<String>,
 ) -> Option<std::thread::JoinHandle<()>> {
+    if let Ok(doc) = Json::parse(line) {
+        if let Some(cmd) = doc.get("cmd").and_then(|c| c.as_str()) {
+            match cmd {
+                "stats" => {
+                    let _ = tx.send(svc.stats_json().render());
+                }
+                other => {
+                    let _ = tx.send(wire::bad_request_line(&format!("unknown cmd {other:?}")));
+                }
+            }
+            return None;
+        }
+    }
     let req = match SolveRequest::parse(line) {
         Ok(r) => r,
         Err(e) => {

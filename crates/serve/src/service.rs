@@ -24,7 +24,8 @@ use fun3d_core::{FlowConditions, Fun3dApp};
 use fun3d_machine::MachineSpec;
 use fun3d_solver::factor_cache::{fnv1a, fnv1a_word};
 use fun3d_threads::{PoolSet, ThreadPool};
-use fun3d_util::telemetry::{self, flight};
+use fun3d_util::telemetry::json::Json;
+use fun3d_util::telemetry::{self, flight, metrics};
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
@@ -257,6 +258,9 @@ pub struct ServeStats {
 struct Job {
     req: SolveRequest,
     enqueued: Instant,
+    /// Admission time on the telemetry clock (the flight/metrics epoch),
+    /// so `ServeStages` timestamps interleave with solver events.
+    admit_ns: u64,
     reply: mpsc::Sender<SolveReply>,
 }
 
@@ -307,6 +311,25 @@ impl SchedState {
         }
         None
     }
+}
+
+/// Process-wide serve gauges, resolved once (the registry lock is paid
+/// at first use, not per request).
+struct ServeGauges {
+    queue_depth: Arc<metrics::Gauge>,
+    inflight: Arc<metrics::Gauge>,
+    cache_apps: Arc<metrics::Gauge>,
+    cache_factors: Arc<metrics::Gauge>,
+}
+
+fn gauges() -> &'static ServeGauges {
+    static GAUGES: std::sync::OnceLock<ServeGauges> = std::sync::OnceLock::new();
+    GAUGES.get_or_init(|| ServeGauges {
+        queue_depth: metrics::gauge("serve.queue_depth"),
+        inflight: metrics::gauge("serve.inflight"),
+        cache_apps: metrics::gauge("serve.cache.apps"),
+        cache_factors: metrics::gauge("serve.cache.factors"),
+    })
 }
 
 struct Shared {
@@ -407,6 +430,8 @@ impl Service {
             let depth = st.queued;
             drop(st);
             self.shared.rejected.fetch_add(1, Ordering::Relaxed);
+            metrics::counter_add("serve.shed", 1);
+            metrics::counter(&format!("serve.shed.{}", reason.slug())).incr();
             flight::emit(flight::EventKind::ServeReject {
                 tenant: thash,
                 reason: reason.code(),
@@ -432,6 +457,7 @@ impl Service {
         st.queues.get_mut(&tenant).unwrap().push_back(Job {
             req,
             enqueued: Instant::now(),
+            admit_ns: telemetry::now_ns(),
             reply: tx,
         });
         st.queued += 1;
@@ -439,6 +465,8 @@ impl Service {
         let depth = st.queued;
         drop(st);
         self.shared.work.notify_one();
+        metrics::counter_add("serve.admitted", 1);
+        gauges().queue_depth.set(depth as u64);
         flight::emit(flight::EventKind::ServeAdmit {
             tenant: thash,
             queue_depth: depth as u64,
@@ -515,6 +543,8 @@ fn dispatcher_loop(
             loop {
                 if let Some(job) = st.next_job() {
                     st.active += 1;
+                    gauges().queue_depth.set(st.queued as u64);
+                    gauges().inflight.set(st.active as u64);
                     break job;
                 }
                 if st.shutdown {
@@ -535,9 +565,13 @@ fn dispatcher_loop(
         // A submitter that gave up (dropped the handle) is not an error.
         let _ = reply_tx.send(reply);
         shared.completed.fetch_add(1, Ordering::Relaxed);
+        metrics::counter_add("serve.completed", 1);
+        gauges().cache_apps.set(app_cache.len() as u64);
+        gauges().cache_factors.set(counters.factors.len() as u64);
         {
             let mut st = shared.state.lock().unwrap();
             st.active -= 1;
+            gauges().inflight.set(st.active as u64);
         }
         shared.idle.notify_all();
     }
@@ -555,6 +589,8 @@ fn execute(
 ) -> SolveReply {
     let _span = telemetry::span("serve_job");
     let queue_ns = job.enqueued.elapsed().as_nanos() as u64;
+    let admit_ns = job.admit_ns;
+    let dispatch_ns = telemetry::now_ns();
     let req = job.req;
     let nt = pool.map_or(1, |p| p.size());
     let t0 = Instant::now();
@@ -588,7 +624,9 @@ fn execute(
         }
     }
 
+    let solve_start_ns = telemetry::now_ns();
     let (u, stats) = app.run(&req.ptc_config());
+    let solve_end_ns = telemetry::now_ns();
 
     if cache_on && !factor_hit {
         if let Some(f) = app.first_factors() {
@@ -600,6 +638,7 @@ fn execute(
 
     let state_fnv = hash_state(&u);
     let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let reply_ns = telemetry::now_ns();
     flight::emit_tagged(
         stats.solve_id,
         flight::EventKind::ServeJob {
@@ -609,6 +648,22 @@ fn execute(
             cache_misses: 2 - cache.hits(),
         },
     );
+    // Full stage record for `trace::assemble`: every boundary of this
+    // request on the shared telemetry clock, tagged with its SolveId.
+    flight::emit_tagged(
+        stats.solve_id,
+        flight::EventKind::ServeStages {
+            tenant: tenant_hash(&req.tenant),
+            admit_ns,
+            dispatch_ns,
+            solve_start_ns,
+            solve_end_ns,
+            reply_ns,
+        },
+    );
+    record_stage_metrics(&req.tenant, admit_ns, dispatch_ns, solve_start_ns, solve_end_ns, reply_ns);
+    metrics::counter_add("serve.cache.hits", cache.hits());
+    metrics::counter_add("serve.cache.misses", 2 - cache.hits());
     SolveReply {
         tenant: req.tenant,
         solve_id: stats.solve_id,
@@ -624,6 +679,90 @@ fn execute(
         queue_ms: queue_ns as f64 / 1e6,
         wall_ms,
         state_fnv,
+    }
+}
+
+/// Records one finished request into the live stage histograms:
+/// service-wide and per-tenant `queue/prep/solve/total` distributions
+/// (tenant handles cached per dispatcher thread, so steady-state
+/// recording never takes the registry lock).
+fn record_stage_metrics(
+    tenant: &str,
+    admit_ns: u64,
+    dispatch_ns: u64,
+    solve_start_ns: u64,
+    solve_end_ns: u64,
+    reply_ns: u64,
+) {
+    if !metrics::enabled() {
+        return;
+    }
+    let queue = dispatch_ns.saturating_sub(admit_ns);
+    let prep = solve_start_ns.saturating_sub(dispatch_ns);
+    let solve = solve_end_ns.saturating_sub(solve_start_ns);
+    let total = reply_ns.saturating_sub(admit_ns);
+    metrics::record_ns("serve.queue_ns", queue);
+    metrics::record_ns("serve.prep_ns", prep);
+    metrics::record_ns("serve.solve_ns", solve);
+    metrics::record_ns("serve.total_ns", total);
+    thread_local! {
+        static TENANT_HISTS: std::cell::RefCell<
+            HashMap<String, [Arc<metrics::Histogram>; 4]>,
+        > = std::cell::RefCell::new(HashMap::new());
+    }
+    TENANT_HISTS.with(|cache| {
+        let mut cache = cache.borrow_mut();
+        let hists = cache.entry(tenant.to_string()).or_insert_with(|| {
+            let h = |stage: &str| metrics::histogram(&format!("serve.tenant.{tenant}.{stage}"));
+            [h("queue_ns"), h("prep_ns"), h("solve_ns"), h("total_ns")]
+        });
+        for (h, v) in hists.iter().zip([queue, prep, solve, total]) {
+            h.record(v);
+        }
+    });
+}
+
+impl Service {
+    /// One-line strict-JSON answer to the `{"cmd":"stats"}` admin
+    /// request: service counters, per-tenant live p50/p99 (from the
+    /// in-process histograms, not a bench log), cache hit rate, and the
+    /// full `fun3d.metrics.v1` snapshot for machine consumers.
+    pub fn stats_json(&self) -> Json {
+        let stats = self.stats();
+        let snap = metrics::snapshot();
+        let tenants: Vec<(String, Json)> = snap
+            .hists
+            .iter()
+            .filter_map(|h| {
+                let name = h
+                    .name
+                    .strip_prefix("serve.tenant.")?
+                    .strip_suffix(".total_ns")?;
+                Some((
+                    name.to_string(),
+                    Json::obj(vec![
+                        ("count", Json::num(h.count as f64)),
+                        ("p50_ms", flight::json_f64(h.quantile(0.50) / 1e6)),
+                        ("p99_ms", flight::json_f64(h.quantile(0.99) / 1e6)),
+                        ("max_ms", Json::num(h.max_ns as f64 / 1e6)),
+                    ]),
+                ))
+            })
+            .collect();
+        Json::obj(vec![
+            ("ok", Json::Bool(true)),
+            ("kind", Json::str("stats")),
+            ("completed", Json::num(stats.completed as f64)),
+            ("rejected", Json::num(stats.rejected as f64)),
+            ("queue_depth", Json::num(snap.gauge("serve.queue_depth") as f64)),
+            ("inflight", Json::num(snap.gauge("serve.inflight") as f64)),
+            (
+                "cache_hit_rate",
+                flight::json_f64(stats.cache.combined_hit_rate()),
+            ),
+            ("tenants", Json::Obj(tenants)),
+            ("metrics", metrics::snapshot_json(&snap)),
+        ])
     }
 }
 
@@ -769,6 +908,66 @@ mod tests {
     }
 
     #[test]
+    fn stats_json_reports_live_tenant_percentiles() {
+        metrics::set_enabled(true);
+        let svc = Service::start(tiny_config());
+        for _ in 0..2 {
+            svc.submit(quick_req("statsee")).unwrap().wait();
+        }
+        // The completed counter bumps after the reply send; drain waits
+        // for the dispatcher to fully retire both jobs.
+        svc.drain();
+        let doc = svc.stats_json();
+        let parsed = Json::parse(&doc.render()).expect("stats render is valid JSON");
+        assert_eq!(parsed.get("ok"), Some(&Json::Bool(true)));
+        assert!(parsed.get("completed").and_then(Json::as_f64).unwrap() >= 2.0);
+        let tenant = parsed
+            .get("tenants")
+            .and_then(|t| t.get("statsee"))
+            .expect("live per-tenant entry");
+        assert!(tenant.get("count").and_then(Json::as_f64).unwrap() >= 2.0);
+        let p50 = tenant.get("p50_ms").and_then(Json::as_f64).unwrap();
+        let p99 = tenant.get("p99_ms").and_then(Json::as_f64).unwrap();
+        assert!(p50 > 0.0 && p99 >= p50, "p50={p50} p99={p99}");
+        assert!(parsed.get("cache_hit_rate").and_then(Json::as_f64).is_some());
+        // The embedded metrics snapshot is itself schema-valid.
+        let m = parsed.get("metrics").expect("metrics subdocument");
+        metrics::check_snapshot(m).expect("embedded snapshot validates");
+        svc.shutdown();
+    }
+
+    #[test]
+    fn serve_stages_are_monotone_and_tagged() {
+        metrics::set_enabled(true);
+        flight::set_enabled(true);
+        let svc = Service::start(tiny_config());
+        let reply = svc.submit(quick_req("stager")).unwrap().wait();
+        svc.shutdown();
+        let log = flight::snapshot();
+        let stages = log
+            .solve(reply.solve_id)
+            .into_iter()
+            .find_map(|e| match e.kind {
+                flight::EventKind::ServeStages {
+                    tenant,
+                    admit_ns,
+                    dispatch_ns,
+                    solve_start_ns,
+                    solve_end_ns,
+                    reply_ns,
+                } => Some((tenant, [admit_ns, dispatch_ns, solve_start_ns, solve_end_ns, reply_ns])),
+                _ => None,
+            })
+            .expect("a serve_stages event tagged with the reply's solve id");
+        assert_eq!(stages.0, tenant_hash("stager"));
+        assert!(
+            stages.1.windows(2).all(|w| w[0] <= w[1]),
+            "stage boundaries must be monotone: {:?}",
+            stages.1
+        );
+    }
+
+    #[test]
     fn weighted_round_robin_interleaves_tenants() {
         // Two tenants, heavy at weight 2: a full drain order of
         // h h l h h l … — verify the scheduler state machine directly.
@@ -794,6 +993,7 @@ mod tests {
             st.queues.get_mut(tenant).unwrap().push_back(Job {
                 req: quick_req(tenant),
                 enqueued: Instant::now(),
+                admit_ns: telemetry::now_ns(),
                 reply: tx.clone(),
             });
             st.queued += 1;

@@ -322,7 +322,10 @@ fn cached_sync_costs(pool: &ThreadPool) -> SyncCosts {
     if let Some((_, c)) = cache.iter().find(|(sz, _)| *sz == pool.size()) {
         return *c;
     }
-    let c = SyncCosts::measure(pool);
+    // Observed-first: the live `threads.p{N}.*` histograms (fed by every
+    // probe run in this process) answer without a fresh one-shot probe;
+    // only a size nobody has measured yet pays for a calibration.
+    let c = SyncCosts::observed(pool.size()).unwrap_or_else(|| SyncCosts::measure(pool));
     // Calibrations are rare (once per pool size per process) and exactly
     // what a post-hoc dump reader needs to audit policy decisions.
     flight::emit(flight::EventKind::SyncProbe {

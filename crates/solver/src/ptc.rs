@@ -175,6 +175,7 @@ pub fn solve(problem: &mut dyn PtcProblem, u: &mut [f64], config: &PtcConfig) ->
 
     for step in 0..config.max_steps {
         let _step_span = telemetry::span("ptc.step");
+        let step_t0 = Instant::now();
         // SER time step growth.
         let dt = (config.dt0 * res0 / res).min(config.dt_max);
         problem.time_diag(dt, &mut shift);
@@ -212,7 +213,14 @@ pub fn solve(problem: &mut dyn PtcProblem, u: &mut [f64], config: &PtcConfig) ->
                     (Some(p), ExecMode::Team) => GmresExec::Team(p),
                     (Some(p), ExecMode::Auto) => GmresExec::Auto(p),
                 };
-                gmres.solve_with(&jac, problem.preconditioner(), &rhs, &mut delta, exec)
+                let gmres_t0 = Instant::now();
+                let lin =
+                    gmres.solve_with(&jac, problem.preconditioner(), &rhs, &mut delta, exec);
+                telemetry::metrics::record_ns(
+                    "solver.gmres_ns",
+                    gmres_t0.elapsed().as_nanos().min(u64::MAX as u128) as u64,
+                );
+                lin
             };
             stats.linear_iters += lin.iterations;
             step_lin_iters += lin.iterations;
@@ -236,6 +244,10 @@ pub fn solve(problem: &mut dyn PtcProblem, u: &mut [f64], config: &PtcConfig) ->
         telemetry::series_push("ptc.residual", (step + 1) as f64, res);
         telemetry::series_push("ptc.dt", (step + 1) as f64, dt);
         telemetry::series_push("ptc.gmres_iters", (step + 1) as f64, step_lin_iters as f64);
+        telemetry::metrics::record_ns(
+            "solver.ptc_step_ns",
+            step_t0.elapsed().as_nanos().min(u64::MAX as u128) as u64,
+        );
         flight::emit(flight::EventKind::PtcStep {
             step: (step + 1) as u64,
             res,

@@ -409,7 +409,11 @@ impl ThreadPool {
         bell.wait_workers();
         // Launch-to-retire wall time is the pace that sizes the workers'
         // wait ladder for the *next* region.
-        bell.note_region_ns(t0.elapsed().as_nanos().min(u64::MAX as u128) as u64);
+        let region_ns = t0.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        bell.note_region_ns(region_ns);
+        // Live distribution of region walls: the *observed* sync-cost
+        // source AutoPolicy consults before paying for a one-shot probe.
+        telemetry::metrics::record_ns("threads.region_ns", region_ns);
         if bell.retire() {
             // Black-box moment: the launcher still has the solve context
             // (rank/solve tags live on this thread), so record the event

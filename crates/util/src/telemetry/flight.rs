@@ -369,6 +369,25 @@ pub enum EventKind {
         /// Global queue depth at the time of rejection.
         queue_depth: u64,
     },
+    /// End-to-end stage boundaries for one serve request (emitted under
+    /// the job's solve tag once the reply is written). Timestamps are
+    /// nanoseconds on the process telemetry epoch — the same clock as
+    /// `t_ns` — so `trace::assemble` can interleave them with solver
+    /// events causally.
+    ServeStages {
+        /// FNV-64 hash of the tenant name.
+        tenant: u64,
+        /// When admission control accepted the request.
+        admit_ns: u64,
+        /// When a dispatcher team dequeued it.
+        dispatch_ns: u64,
+        /// When the solver started (artifact prep done).
+        solve_start_ns: u64,
+        /// When the solver returned.
+        solve_end_ns: u64,
+        /// When the reply was handed to the writer.
+        reply_ns: u64,
+    },
 }
 
 /// Human slug for a [`EventKind::ServeReject`] reason code. The codes
@@ -403,11 +422,12 @@ impl EventKind {
             EventKind::ServeAdmit { .. } => "serve_admit",
             EventKind::ServeJob { .. } => "serve_job",
             EventKind::ServeReject { .. } => "serve_reject",
+            EventKind::ServeStages { .. } => "serve_stages",
         }
     }
 
     /// Every artifact kind name (dump validation).
-    pub const NAMES: [&'static str; 14] = [
+    pub const NAMES: [&'static str; 15] = [
         "solve_start",
         "solve_end",
         "ptc_step",
@@ -422,6 +442,7 @@ impl EventKind {
         "serve_admit",
         "serve_job",
         "serve_reject",
+        "serve_stages",
     ];
 
     fn encode(&self) -> (u64, [u64; PAYLOAD_WORDS]) {
@@ -489,6 +510,17 @@ impl EventKind {
                 reason,
                 queue_depth,
             } => (14, [tenant, reason, queue_depth, 0, 0, 0]),
+            EventKind::ServeStages {
+                tenant,
+                admit_ns,
+                dispatch_ns,
+                solve_start_ns,
+                solve_end_ns,
+                reply_ns,
+            } => (
+                15,
+                [tenant, admit_ns, dispatch_ns, solve_start_ns, solve_end_ns, reply_ns],
+            ),
         }
     }
 
@@ -562,6 +594,14 @@ impl EventKind {
                 tenant: p[0],
                 reason: p[1],
                 queue_depth: p[2],
+            },
+            15 => EventKind::ServeStages {
+                tenant: p[0],
+                admit_ns: p[1],
+                dispatch_ns: p[2],
+                solve_start_ns: p[3],
+                solve_end_ns: p[4],
+                reply_ns: p[5],
             },
             _ => return None,
         })
@@ -687,6 +727,21 @@ impl EventKind {
                 ("reason", Json::str(reject_reason_slug(reason))),
                 ("queue_depth", Json::num(queue_depth as f64)),
             ],
+            EventKind::ServeStages {
+                tenant,
+                admit_ns,
+                dispatch_ns,
+                solve_start_ns,
+                solve_end_ns,
+                reply_ns,
+            } => vec![
+                ("tenant", Json::str(format!("{tenant:016x}"))),
+                ("admit_ns", Json::num(admit_ns as f64)),
+                ("dispatch_ns", Json::num(dispatch_ns as f64)),
+                ("solve_start_ns", Json::num(solve_start_ns as f64)),
+                ("solve_end_ns", Json::num(solve_end_ns as f64)),
+                ("reply_ns", Json::num(reply_ns as f64)),
+            ],
         }
     }
 
@@ -778,6 +833,20 @@ impl EventKind {
             } => format!(
                 "tenant={tenant:016x} reason={} depth={queue_depth}",
                 reject_reason_slug(reason)
+            ),
+            EventKind::ServeStages {
+                tenant,
+                admit_ns,
+                dispatch_ns,
+                solve_start_ns,
+                solve_end_ns,
+                reply_ns,
+            } => format!(
+                "tenant={tenant:016x} queue={:.2}ms prep={:.2}ms solve={:.2}ms reply={:.2}ms",
+                (dispatch_ns.saturating_sub(admit_ns)) as f64 / 1e6,
+                (solve_start_ns.saturating_sub(dispatch_ns)) as f64 / 1e6,
+                (solve_end_ns.saturating_sub(solve_start_ns)) as f64 / 1e6,
+                (reply_ns.saturating_sub(solve_end_ns)) as f64 / 1e6
             ),
         }
     }
@@ -1373,6 +1442,14 @@ mod tests {
                 tenant: u64::MAX,
                 reason: 1,
                 queue_depth: 64,
+            },
+            EventKind::ServeStages {
+                tenant: 0xdead_beef_cafe_f00d,
+                admit_ns: 1_000,
+                dispatch_ns: 2_500,
+                solve_start_ns: 3_000,
+                solve_end_ns: 9_000,
+                reply_ns: 9_500,
             },
         ]
     }

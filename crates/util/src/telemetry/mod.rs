@@ -39,6 +39,7 @@
 pub mod counters;
 pub mod flight;
 pub mod json;
+pub mod metrics;
 pub mod profile;
 pub mod ring;
 pub mod roofline;

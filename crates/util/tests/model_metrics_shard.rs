@@ -1,0 +1,124 @@
+//! Model check for the metrics histogram shard's single-writer
+//! publication protocol. Compiled only under `--cfg fun3d_check`,
+//! where [`HistShard`]'s bucket and count atomics are fun3d-check's
+//! tracked types.
+//!
+//! The shard inverts the flight ring's discipline: relaxed bucket
+//! increments, one Release count increment, and a collector that
+//! Acquire-loads the count *first*, then the buckets relaxed. The
+//! invariant a live `{"cmd":"stats"}` reply rests on is that the
+//! buckets account for at least every published record — a collector
+//! can over-read (racing increments it never Acquired), never
+//! under-read. The positive model lets the checker try every
+//! interleaving of a writer/collector pair; the mutant downgrades the
+//! count publication to `Relaxed` and the checker must find the
+//! schedule where the Acquire handshake is satisfied but the bucket
+//! store is not yet visible — a live quantile computed from a record
+//! that is not there.
+#![cfg(fun3d_check)]
+
+use fun3d_check::shim::{spin_hint, AtomicU64, Ordering};
+use fun3d_check::{explore, thread, Config, FailureKind};
+use fun3d_util::telemetry::metrics::HistShard;
+use std::sync::Arc;
+
+fn cfg() -> Config {
+    Config {
+        max_threads: 4,
+        preemption_bound: Some(2),
+        max_schedules: 400_000,
+        history: 3,
+    }
+}
+
+#[test]
+fn concurrent_read_never_undercounts_published_records() {
+    // Writer records into two buckets while the collector reads
+    // concurrently; afterwards a quiescent (join-ordered) read checks
+    // the totals exactly. Mid-flight, whatever count the collector
+    // Acquired must already be covered by the bucket sums it then
+    // loads: `sum(buckets) >= count` is what makes a snapshot's
+    // quantile ranks real records rather than speculation.
+    let report = explore(&cfg(), || {
+        let shard = Arc::new(HistShard::with_buckets(2));
+        let s2 = Arc::clone(&shard);
+        let writer = thread::spawn(move || {
+            s2.record_bucket(0);
+            s2.record_bucket(1);
+            s2.record_bucket(0);
+        });
+        let (count, buckets) = shard.read();
+        let total: u64 = buckets.iter().sum();
+        assert!(
+            total >= count,
+            "collector undercounted: count {count}, buckets sum {total}"
+        );
+        assert!(count <= 3 && total <= 3);
+        writer.join();
+        let (count, buckets) = shard.read();
+        assert_eq!(count, 3);
+        assert_eq!(buckets, vec![2, 1]);
+    });
+    eprintln!(
+        "explored {} schedules (exhaustive: {})",
+        report.schedules, report.exhaustive
+    );
+    assert!(report.failure.is_none(), "{:?}", report.failure);
+    assert!(report.exhaustive, "budget too small: {}", report.schedules);
+    assert!(report.schedules >= 2);
+}
+
+#[test]
+fn two_collectors_agree_with_one_writer() {
+    // The stats endpoint and the metrics socket can snapshot the same
+    // shard at once: two concurrent readers, one writer. Each reader
+    // independently must see buckets covering its Acquired count.
+    let report = explore(&cfg(), || {
+        let shard = Arc::new(HistShard::with_buckets(1));
+        let s2 = Arc::clone(&shard);
+        let writer = thread::spawn(move || {
+            s2.record_bucket(0);
+            s2.record_bucket(0);
+        });
+        let s3 = Arc::clone(&shard);
+        let reader = thread::spawn(move || {
+            let (count, buckets) = s3.read();
+            assert!(buckets[0] >= count, "reader 2 undercounted");
+        });
+        let (count, buckets) = shard.read();
+        assert!(buckets[0] >= count, "reader 1 undercounted");
+        writer.join();
+        reader.join();
+        let (count, buckets) = shard.read();
+        assert_eq!((count, buckets[0]), (2, 2));
+    });
+    assert!(report.failure.is_none(), "{:?}", report.failure);
+    assert!(report.exhaustive, "budget too small: {}", report.schedules);
+}
+
+#[test]
+fn relaxed_count_publication_is_caught() {
+    // Mutant skeleton of `HistShard::record` with the count increment
+    // downgraded to Relaxed: one bucket word stands in for the 2432.
+    // The checker must find the schedule where the collector's Acquire
+    // count load observes the increment but the relaxed bucket store
+    // is not yet visible — the undercount the Release edge forbids.
+    let report = explore(&cfg(), || {
+        let bucket = Arc::new(AtomicU64::new(0));
+        let count = Arc::new(AtomicU64::new(0));
+        let (b2, c2) = (Arc::clone(&bucket), Arc::clone(&count));
+        let writer = thread::spawn(move || {
+            b2.fetch_add(1, Ordering::Relaxed);
+            c2.fetch_add(1, Ordering::Relaxed); // BUG: record() uses Release
+        });
+        while count.load(Ordering::Acquire) != 1 {
+            spin_hint();
+        }
+        let b = bucket.load(Ordering::Relaxed);
+        assert!(b >= 1, "collector saw published count without its record");
+        writer.join();
+    });
+    let f = report.failure.expect("checker must catch the relaxed count");
+    assert_eq!(f.kind, FailureKind::Panic, "{}", f.message);
+    assert!(!f.schedule.is_empty());
+}

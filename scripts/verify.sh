@@ -227,10 +227,117 @@ if cargo run --release --offline -q -p fun3d-bench --bin load_gen -- \
 fi
 rm -f target/experiments/load_gen_bad.json
 # The serving metrics ride the throwaway history under the hard gate:
-# rps / p50 / p99 / hit-rate keys must append and judge cleanly.
+# rps / p50 / p99 / hit-rate keys — and the service's own serve.live.*
+# percentiles — must append and judge cleanly.
 FUN3D_PERF_GATE=hard cargo run --release --offline -q -p fun3d-bench --bin perf_regress -- \
     --append target/experiments/load_gen.json --history "$PERF_HIST" \
     --commit "verify-serve" --date "verify" >/dev/null
+if ! grep -q 'serve\.live\.' "$PERF_HIST"; then
+    echo "FAIL: load_gen append carried no serve.live.* keys"
+    exit 1
+fi
 echo "ok: serve load benchmark gated (2x cache floor, forced reject, history append)"
+
+echo "== live metrics plane (stats command, metrics socket, metrics_view) =="
+# In-band stats: a solve followed by {"cmd":"stats"} must answer one
+# stats line whose embedded snapshot validates strictly, with live
+# per-tenant percentiles for the tenant just served.
+METRICS_DIR=target/experiments/verify_metrics
+rm -rf "$METRICS_DIR"
+mkdir -p "$METRICS_DIR"
+STATS_OUT=$(printf '%s\n' \
+    '{"tenant":"verify","mesh":"tiny","max_steps":2,"rtol":1e-2}' \
+    '{"cmd":"stats"}' \
+    | cargo run --release --offline -q -p fun3d-serve --bin serve -- --teams 1 --team-threads 1 2>/dev/null)
+# The one-shot pipe races stats against the solve, so this smoke checks
+# structure only; the live per-tenant numbers are asserted on the
+# fifo-held service below, where ordering is controlled.
+for needle in '"kind":"stats"' '"schema":"fun3d.metrics.v1"'; do
+    if ! grep -qF "$needle" <<<"$STATS_OUT"; then
+        echo "FAIL: stats reply missing $needle"
+        echo "$STATS_OUT"
+        exit 1
+    fi
+done
+
+# Out-of-band metrics socket: hold a serve process open on a fifo, let
+# it finish one solve, then fetch + strictly validate both expositions
+# through metrics_view, and keep the JSON snapshot for the canary.
+METRICS_SOCK=$METRICS_DIR/metrics.sock
+FIFO=$METRICS_DIR/stdin.fifo
+mkfifo "$FIFO"
+cargo run --release --offline -q -p fun3d-serve --bin serve -- \
+    --metrics-socket "$METRICS_SOCK" --teams 1 --team-threads 1 \
+    < "$FIFO" > "$METRICS_DIR/serve.out" 2>/dev/null &
+SERVE_PID=$!
+exec 9> "$FIFO"
+printf '%s\n' '{"tenant":"verify","mesh":"tiny","max_steps":2,"rtol":1e-2}' >&9
+# Wait for the solve's reply so the snapshot below has live data.
+for _ in $(seq 1 100); do
+    grep -q '"ok":true' "$METRICS_DIR/serve.out" 2>/dev/null && break
+    sleep 0.2
+done
+# Now the solve is done: an in-band stats request must answer with live
+# per-tenant p50/p99 and the stage histograms (the acceptance claim).
+printf '%s\n' '{"cmd":"stats"}' >&9
+for _ in $(seq 1 100); do
+    grep -q '"kind":"stats"' "$METRICS_DIR/serve.out" 2>/dev/null && break
+    sleep 0.2
+done
+LIVE_STATS=$(grep '"kind":"stats"' "$METRICS_DIR/serve.out")
+for needle in '"verify":{"count":1' '"p50_ms":' '"p99_ms":' '"cache_hit_rate":' 'serve.total_ns'; do
+    if ! grep -qF "$needle" <<<"$LIVE_STATS"; then
+        echo "FAIL: live stats reply missing $needle"
+        echo "$LIVE_STATS"
+        exit 1
+    fi
+done
+cargo run --release --offline -q -p fun3d-bench --bin metrics_view -- --socket "$METRICS_SOCK" --check
+cargo run --release --offline -q -p fun3d-bench --bin metrics_view -- --socket "$METRICS_SOCK" --prom --check
+cargo run --release --offline -q -p fun3d-bench --bin metrics_view -- --socket "$METRICS_SOCK" \
+    > "$METRICS_DIR/rendered.txt"
+if ! grep -q 'serve\.tenant\.verify\.total_ns' "$METRICS_DIR/rendered.txt"; then
+    echo "FAIL: live snapshot missing the per-tenant stage histogram"
+    exit 1
+fi
+# Save the JSON snapshot, close the service, and validate the file path.
+python3 - "$METRICS_SOCK" "$METRICS_DIR/snapshot.json" <<'EOF' 2>/dev/null || \
+    SNAP_FALLBACK=1
+import socket, sys
+s = socket.socket(socket.AF_UNIX)
+s.connect(sys.argv[1])
+s.sendall(b"json\n")
+buf = b""
+while True:
+    chunk = s.recv(65536)
+    if not chunk:
+        break
+    buf += chunk
+open(sys.argv[2], "wb").write(buf)
+EOF
+if [ "${SNAP_FALLBACK:-0}" = "1" ]; then
+    # No python3 in the container: the stats command's embedded snapshot
+    # is the same artifact.
+    grep '"kind":"stats"' <<<"$STATS_OUT" | sed 's/.*"metrics"://; s/}}$/}/' \
+        > "$METRICS_DIR/snapshot.json"
+fi
+exec 9>&-
+wait "$SERVE_PID"
+rm -f "$FIFO"
+cargo run --release --offline -q -p fun3d-bench --bin metrics_view -- --check "$METRICS_DIR/snapshot.json"
+# Negative canary: corrupt the snapshot (a bucket count goes negative)
+# and the strict validator must reject it.
+sed 's/"count":[0-9]*/"count":-3/' "$METRICS_DIR/snapshot.json" \
+    > "$METRICS_DIR/snapshot_bad.json"
+if cargo run --release --offline -q -p fun3d-bench --bin metrics_view -- \
+    --check "$METRICS_DIR/snapshot_bad.json" >/dev/null 2>&1; then
+    echo "FAIL: metrics_view --check accepted a corrupted snapshot"
+    exit 1
+fi
+rm -f "$METRICS_DIR/snapshot_bad.json"
+# Bounded-error acceptance: the randomized property pitting histogram
+# quantiles against exact sorted percentiles (one log-bucket tolerance).
+cargo test -q --offline --release -p fun3d-util --lib quantiles_bounded_error >/dev/null
+echo "ok: live metrics plane answers, validates, and rejects corruption"
 
 echo "verify: OK"
